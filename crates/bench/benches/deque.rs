@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the d-e-que substrate: the THE protocol's
+//! owner fast path, the special-task operations, and the growable
+//! `PoolDeque` for comparison. These quantify the "management of d-e-ques"
+//! cost component of the paper's overhead breakdowns.
+
+use adaptivetc_deque::{ChaseLevDeque, ClSteal, PoolDeque, StealOutcome, TheDeque};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_the_push_pop(c: &mut Criterion) {
+    let dq: TheDeque<u64> = TheDeque::new(1024);
+    c.bench_function("the_deque/push_pop", |b| {
+        b.iter(|| {
+            dq.push(black_box(1)).unwrap();
+            black_box(dq.pop())
+        })
+    });
+}
+
+fn bench_the_special_cycle(c: &mut Criterion) {
+    let dq: TheDeque<u64> = TheDeque::new(1024);
+    c.bench_function("the_deque/special_cycle", |b| {
+        b.iter(|| {
+            dq.push_special(black_box(9)).unwrap();
+            dq.push(black_box(1)).unwrap();
+            black_box(dq.pop());
+            black_box(dq.pop_special())
+        })
+    });
+}
+
+fn bench_the_steal(c: &mut Criterion) {
+    let dq: TheDeque<u64> = TheDeque::new(1024);
+    c.bench_function("the_deque/push_steal", |b| {
+        b.iter(|| {
+            dq.push(black_box(1)).unwrap();
+            match dq.steal() {
+                StealOutcome::Stolen(v) => black_box(v),
+                StealOutcome::Empty => unreachable!("just pushed"),
+            }
+        })
+    });
+}
+
+fn bench_pool_push_pop(c: &mut Criterion) {
+    let dq: PoolDeque<u64> = PoolDeque::new();
+    c.bench_function("pool_deque/push_pop", |b| {
+        b.iter(|| {
+            dq.push(black_box(1));
+            black_box(dq.pop())
+        })
+    });
+}
+
+fn bench_chase_lev_push_pop(c: &mut Criterion) {
+    let dq: ChaseLevDeque<u64> = ChaseLevDeque::new();
+    c.bench_function("chase_lev/push_pop", |b| {
+        b.iter(|| {
+            dq.push(black_box(1));
+            black_box(dq.pop())
+        })
+    });
+}
+
+fn bench_chase_lev_steal(c: &mut Criterion) {
+    let dq: ChaseLevDeque<u64> = ChaseLevDeque::new();
+    c.bench_function("chase_lev/push_steal", |b| {
+        b.iter(|| {
+            dq.push(black_box(1));
+            match dq.steal() {
+                ClSteal::Stolen(v) => black_box(v),
+                _ => unreachable!("single-threaded: just pushed"),
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_the_push_pop,
+    bench_the_special_cycle,
+    bench_the_steal,
+    bench_pool_push_pop,
+    bench_chase_lev_push_pop,
+    bench_chase_lev_steal
+);
+criterion_main!(benches);

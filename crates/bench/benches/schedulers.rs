@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the threaded schedulers on a small n-queens
+//! instance (single-threaded — the Table 2 overhead comparison in
+//! Criterion form) plus the serial baseline.
+
+use adaptivetc_core::{serial, Config};
+use adaptivetc_runtime::Scheduler;
+use adaptivetc_workloads::nqueens::NqueensArray;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_schedulers_one_thread(c: &mut Criterion) {
+    let problem = NqueensArray::new(9);
+    let cfg = Config::new(1);
+    let mut group = c.benchmark_group("nqueens9_one_thread");
+    group.sample_size(20);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(serial::run(&problem).0))
+    });
+    for scheduler in [
+        Scheduler::Cilk,
+        Scheduler::CilkSynched,
+        Scheduler::Tascell,
+        Scheduler::AdaptiveTc,
+    ] {
+        group.bench_function(scheduler.name(), |b| {
+            b.iter(|| black_box(scheduler.run(&problem, &cfg).expect("runs").0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers_one_thread);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the simulator's event loop throughput — how
+//! much real time one simulated policy sweep costs (this bounds how large
+//! the figure harness instances can be).
+
+use adaptivetc_core::Config;
+use adaptivetc_sim::{simulate, CostModel, Policy, SimTree};
+use adaptivetc_workloads::nqueens::NqueensArray;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulate_policies(c: &mut Criterion) {
+    let tree = SimTree::from_problem(&NqueensArray::new(9));
+    let cost = CostModel::calibrated();
+    let cfg = Config::new(8);
+    let mut group = c.benchmark_group("simulate_nqueens9_8workers");
+    group.sample_size(10);
+    for policy in [
+        Policy::Cilk,
+        Policy::Tascell,
+        Policy::AdaptiveTc,
+        Policy::CutoffLibrary,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(simulate(&tree, policy, &cfg, cost).wall_ns))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let problem = NqueensArray::new(9);
+    let mut group = c.benchmark_group("flatten");
+    group.sample_size(10);
+    group.bench_function("nqueens9", |b| {
+        b.iter(|| black_box(SimTree::from_problem(&problem).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate_policies, bench_flatten);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: AdaptiveTC's initial cut-off depth (the paper sets
+//! `⌈log₂ N⌉`). Deeper cut-offs create more initial tasks (closer to Cilk,
+//! more copies); depth 1 relies almost entirely on `need_task` adaptation.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin ablation_cutoff
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::{Config, CutoffPolicy};
+use adaptivetc_sim::{serial_wall_ns, simulate, Policy};
+
+fn main() {
+    println!("Ablation: AdaptiveTC speedup at 8 workers vs initial cut-off depth\n");
+    println!(
+        "{:<22} {:>7} {:>7} {:>8} {:>7} {:>7} {:>7}",
+        "benchmark", "1", "2", "3=auto", "4", "6", "8"
+    );
+    for bench in [
+        PaperBench::NqueenArray,
+        PaperBench::Strimko,
+        PaperBench::Sudoku,
+        PaperBench::Pentomino,
+    ] {
+        let cost = bench.calibrated_cost();
+        let tree = bench.sim_tree();
+        let serial = serial_wall_ns(&tree, &cost) as f64;
+        let mut row = format!("{:<22}", bench.name());
+        for cutoff in [1u32, 2, 3, 4, 6, 8] {
+            let cfg = Config::new(8).cutoff(CutoffPolicy::Fixed(cutoff));
+            let out = simulate(&tree, Policy::AdaptiveTc, &cfg, cost);
+            row.push_str(&format!(" {:>7.2}", serial / out.wall_ns as f64));
+        }
+        println!("{row}");
+    }
+    println!("\n(auto = ceil(log2 8) = 3, the paper's choice for 8 threads)");
+}

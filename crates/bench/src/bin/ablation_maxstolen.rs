@@ -1,0 +1,40 @@
+//! Ablation: sensitivity of AdaptiveTC to `max_stolen_num` (the paper
+//! fixes it at 20 without exploring alternatives).
+//!
+//! A low threshold fires `need_task` eagerly (more special tasks, more
+//! copies, snappier rebalancing); a high one starves thieves for longer
+//! between transitions.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin ablation_maxstolen
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::Config;
+use adaptivetc_sim::{serial_wall_ns, simulate, Policy};
+
+fn main() {
+    println!("Ablation: AdaptiveTC speedup at 8 workers vs max_stolen_num\n");
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "1", "5", "20*", "80", "320", "1280"
+    );
+    for bench in [
+        PaperBench::NqueenArray,
+        PaperBench::Sudoku,
+        PaperBench::Comp,
+        PaperBench::Fib,
+    ] {
+        let cost = bench.calibrated_cost();
+        let tree = bench.sim_tree();
+        let serial = serial_wall_ns(&tree, &cost) as f64;
+        let mut row = format!("{:<22}", bench.name());
+        for max_stolen in [1u32, 5, 20, 80, 320, 1280] {
+            let cfg = Config::new(8).max_stolen_num(max_stolen);
+            let out = simulate(&tree, Policy::AdaptiveTc, &cfg, cost);
+            row.push_str(&format!(" {:>7.2}", serial / out.wall_ns as f64));
+        }
+        println!("{row}");
+    }
+    println!("\n(* = the paper's default)");
+}

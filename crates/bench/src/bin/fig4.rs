@@ -1,0 +1,50 @@
+//! Figure 4: speedup vs. thread count (1–8) for Cilk, Cilk-SYNCHED,
+//! Tascell and AdaptiveTC on the eight Table 1 benchmarks.
+//!
+//! Multi-worker points come from the deterministic simulator with a cost
+//! model calibrated per workload against a real serial run (this machine
+//! has one core; see DESIGN.md). Speedup baseline: pure node work (the
+//! "sequential C program").
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin fig4
+//! ```
+
+use adaptivetc_bench::{speedup_row, PaperBench, THREADS};
+use adaptivetc_core::Config;
+use adaptivetc_sim::{serial_wall_ns, simulate, Policy};
+
+fn main() {
+    println!("Figure 4: speedup vs threads (simulated, per-workload calibrated costs)");
+    println!("columns: threads = {THREADS:?}\n");
+    for bench in PaperBench::all() {
+        let cost = bench.calibrated_cost();
+        let tree = bench.sim_tree();
+        let serial = serial_wall_ns(&tree, &cost) as f64;
+        println!(
+            "({}) nodes={} node_ns={} leaf_count={}",
+            bench.name(),
+            tree.len(),
+            cost.node_ns,
+            tree.leaf_count()
+        );
+        let mut policies = vec![Policy::Cilk];
+        if bench.has_taskprivate() {
+            policies.push(Policy::CilkSynched);
+        }
+        policies.push(Policy::Tascell);
+        policies.push(Policy::AdaptiveTc);
+        for policy in policies {
+            let series: Vec<f64> = THREADS
+                .iter()
+                .map(|&t| {
+                    let out = simulate(&tree, policy, &Config::new(t), cost);
+                    assert_eq!(out.leaves, tree.leaf_count(), "work conservation");
+                    serial / out.wall_ns as f64
+                })
+                .collect();
+            println!("{}", speedup_row(policy.name(), &series));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 5: speedup at 8 threads with **Cilk as the baseline** for all
+//! eight benchmarks (the paper's 1.15×–2.78× AdaptiveTC-over-Cilk claim).
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin fig5
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::Config;
+use adaptivetc_sim::{simulate, Policy};
+
+fn main() {
+    println!("Figure 5: speedup at 8 threads, baseline = Cilk's 8-thread time\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12}",
+        "benchmark", "Cilk", "Cilk-SYN", "Tascell", "AdaptiveTC"
+    );
+    let cfg = Config::new(8);
+    for bench in PaperBench::all() {
+        let cost = bench.calibrated_cost();
+        let tree = bench.sim_tree();
+        let cilk = simulate(&tree, Policy::Cilk, &cfg, cost).wall_ns as f64;
+        let mut row = format!("{:<22} {:>10.2}", bench.name(), 1.0);
+        if bench.has_taskprivate() {
+            let syn = simulate(&tree, Policy::CilkSynched, &cfg, cost).wall_ns as f64;
+            row.push_str(&format!(" {:>10.2}", cilk / syn));
+        } else {
+            row.push_str(&format!(" {:>10}", "-"));
+        }
+        let tas = simulate(&tree, Policy::Tascell, &cfg, cost).wall_ns as f64;
+        let adp = simulate(&tree, Policy::AdaptiveTc, &cfg, cost).wall_ns as f64;
+        row.push_str(&format!(" {:>10.2} {:>12.2}", cilk / tas, cilk / adp));
+        println!("{row}");
+    }
+    println!("\npaper's range for AdaptiveTC over Cilk: 1.15x - 2.78x");
+}

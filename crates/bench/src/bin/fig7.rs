@@ -1,0 +1,52 @@
+//! Figure 7: Tascell's overhead breakdown (working / polling /
+//! wait_children) at 2, 4 and 8 threads for Nqueen-array, Nqueen-compute
+//! and Fib — from the simulator's exact virtual time accounting.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin fig7
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::Config;
+use adaptivetc_sim::{simulate, Policy};
+
+fn main() {
+    println!("Figure 7: Tascell overhead breakdown with multiple threads (simulated)\n");
+    for bench in [
+        PaperBench::NqueenArray,
+        PaperBench::NqueenCompute,
+        PaperBench::Fib,
+    ] {
+        let cost = bench.calibrated_cost();
+        let tree = bench.sim_tree();
+        println!("({})", bench.name());
+        println!(
+            "{:>8} {:>11} {:>11} {:>15} {:>11}",
+            "threads", "working %", "polling %", "wait_children %", "other %"
+        );
+        for threads in [2usize, 4, 8] {
+            let out = simulate(&tree, Policy::Tascell, &Config::new(threads), cost);
+            // Total worker-time = threads × wall; categories from the exact
+            // virtual breakdown.
+            let total = (out.wall_ns as f64) * threads as f64;
+            let t = &out.report.stats.time;
+            let working = t.busy_ns as f64;
+            let polling = t.poll_ns as f64;
+            let waiting = t.wait_children_ns as f64;
+            let other = (total - working - polling - waiting).max(0.0);
+            println!(
+                "{:>8} {:>10.1}% {:>10.2}% {:>14.1}% {:>10.1}%",
+                threads,
+                100.0 * working / total,
+                100.0 * polling / total,
+                100.0 * waiting / total,
+                100.0 * other / total
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper's numbers at 8 threads: wait_children = 16.73% (Nqueen-array),\n\
+         20.84% (Nqueen-compute), 11.31% (Fib); the share grows with threads."
+    );
+}

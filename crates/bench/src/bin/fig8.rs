@@ -1,0 +1,49 @@
+//! Figure 8: the `input1` unbalanced tree — size, depth and the per-node
+//! subtree percentages of the heavy path.
+//!
+//! Two views are printed: the real Sudoku `input1` search tree of this
+//! repository (measured by traversal) and the scaled synthetic stand-in
+//! used by the Figure 9/10 harnesses (the paper's own tree had
+//! 1,934,719,465 nodes and depth 63 — derived from its unpublished Sudoku
+//! input; see the substitution note in DESIGN.md).
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin fig8 [nodes]
+//! ```
+
+use adaptivetc_core::treeinfo::TreeInfo;
+use adaptivetc_workloads::sudoku::Sudoku;
+use adaptivetc_workloads::tree::UnbalancedTree;
+
+fn describe(label: &str, info: &TreeInfo) {
+    println!("{label}");
+    println!("  size={}; depth={}; leaves={}", info.size, info.depth, info.leaves);
+    let percents: Vec<String> = info
+        .depth1_percent()
+        .iter()
+        .map(|p| format!("{p:.2}%"))
+        .collect();
+    println!("  depth-1 subtree shares: {}", percents.join("  "));
+    println!("  depth-1 skew: {:.3}\n", info.depth1_skew());
+}
+
+fn main() {
+    let total: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+
+    let sudoku = TreeInfo::measure(&Sudoku::input1());
+    describe("Sudoku input1 (this repository's instance, measured):", &sudoku);
+
+    let synth = TreeInfo::measure(&UnbalancedTree::fig8(total));
+    describe(
+        &format!("Synthetic Figure-8 stand-in ({total} nodes, LCG construction):"),
+        &synth,
+    );
+
+    println!(
+        "paper's tree: size=1,934,719,465; depth=63; depth-1 shares ~61%/28%/11%\n\
+         (scaled here — the shares and skew are preserved, not the raw size)"
+    );
+}

@@ -1,0 +1,28 @@
+//! Print the scaled benchmark instances: tree size, leaves, result and
+//! serial time — the data behind the "nodes=" annotations of the figure
+//! harnesses.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin inventory
+//! ```
+
+use adaptivetc_bench::PaperBench;
+
+fn main() {
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>11} {:>8}",
+        "benchmark", "nodes", "leaves", "result", "serial ms", "ns/node"
+    );
+    for b in PaperBench::all() {
+        let (out, r) = b.run_serial();
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>11.1} {:>8}",
+            b.name(),
+            r.nodes,
+            r.leaves,
+            out,
+            r.wall_ns as f64 / 1e6,
+            r.wall_ns / r.nodes.max(1)
+        );
+    }
+}

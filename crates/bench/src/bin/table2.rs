@@ -1,0 +1,65 @@
+//! Table 2: one-thread execution time relative to the sequential C program
+//! — the system-overhead table. This experiment is single-threaded, so it
+//! runs on the **real threaded runtime** of this repository (no
+//! simulation).
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin table2
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::Config;
+use adaptivetc_runtime::Scheduler;
+
+fn median_of_3<F: FnMut() -> u64>(mut run: F) -> u64 {
+    let mut xs = [run(), run(), run()];
+    xs.sort_unstable();
+    xs[1]
+}
+
+fn main() {
+    println!("Table 2: execution time with ONE thread, relative to the serial baseline");
+    println!("(median of 3 runs; real threaded runtime, release build)\n");
+    println!(
+        "{:<22} {:>9} {:>17} {:>17} {:>17} {:>17}",
+        "benchmark", "serial ms", "Tascell", "Cilk", "Cilk-SYNCHED", "AdaptiveTC"
+    );
+    let cfg = Config::new(1);
+    for bench in PaperBench::all() {
+        let _warmup = bench.run_serial(); // fault in code and data pages
+        let serial_ns = median_of_3(|| bench.run_serial().1.wall_ns).max(1);
+        let mut row = format!(
+            "{:<22} {:>9.1}",
+            bench.name(),
+            serial_ns as f64 / 1e6
+        );
+        for scheduler in [
+            Scheduler::Tascell,
+            Scheduler::Cilk,
+            Scheduler::CilkSynched,
+            Scheduler::AdaptiveTc,
+        ] {
+            if scheduler == Scheduler::CilkSynched && !bench.has_taskprivate() {
+                row.push_str(&format!("{:>18}", "-"));
+                continue;
+            }
+            let ns = median_of_3(|| {
+                bench
+                    .run_real(scheduler, &cfg)
+                    .expect("single-thread run succeeds")
+                    .1
+                    .wall_ns
+            });
+            row.push_str(&format!(
+                " {:>8.1} ({:>5.2})",
+                ns as f64 / 1e6,
+                ns as f64 / serial_ns as f64
+            ));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\npaper's shape: AdaptiveTC ~1.0-1.5x of serial; Cilk 1.5-4x; Cilk-SYNCHED\n\
+         slightly below Cilk; Tascell low overhead except vs Cilk-style costs"
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 3: statistics of the randomly generated unbalanced trees —
+//! size, leaves, depth and the depth-1 subtree percentages, for
+//! Tree1L/R .. Tree3L/R.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin table3 [nodes]
+//! ```
+
+use adaptivetc_core::treeinfo::TreeInfo;
+use adaptivetc_workloads::tree::UnbalancedTree;
+
+fn main() {
+    let total: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    println!("Table 3: randomly generated unbalanced trees ({total} nodes, scaled from 1.96G)\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>6}  depth-1 subtree shares (%)",
+        "input", "size", "leaves", "depth"
+    );
+    for (name, tree) in [
+        ("Tree1L", UnbalancedTree::tree1(total)),
+        ("Tree1R", UnbalancedTree::tree1(total).reversed()),
+        ("Tree2L", UnbalancedTree::tree2(total)),
+        ("Tree2R", UnbalancedTree::tree2(total).reversed()),
+        ("Tree3L", UnbalancedTree::tree3(total)),
+        ("Tree3R", UnbalancedTree::tree3(total).reversed()),
+    ] {
+        let info = TreeInfo::measure(&tree);
+        let shares: Vec<String> = info
+            .depth1_percent()
+            .iter()
+            .map(|p| format!("{p:.3}"))
+            .collect();
+        println!(
+            "{:<8} {:>10} {:>10} {:>6}  {}",
+            name,
+            info.size,
+            info.leaves,
+            info.depth,
+            shares.join(", ")
+        );
+    }
+    println!(
+        "\npaper's depth-1 shares:\n\
+         Tree1L: 42.512, 25.362, 13.019, 4.936, 0.416, 11.771, 1.984\n\
+         Tree2L: 74.492, 20.791, 1.106, 2.732, 0.637, 0.049, 0.193\n\
+         Tree3L: 89.675, 6.891, 1.836, 0.819, 0.645, 0.026, 0.108\n\
+         (R variants are exact mirrors; sizes scaled from 1,961,025,791)"
+    );
+}

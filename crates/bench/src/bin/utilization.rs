@@ -1,0 +1,104 @@
+//! Per-worker utilization for one (benchmark, policy, workers) point —
+//! the microscope behind the speedup curves: who worked, who copied, who
+//! waited, who starved.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin utilization -- [bench] [policy] [workers]
+//!   bench:  nqueen-array | nqueen-compute | strimko | knights | sudoku |
+//!           pentomino | fib | comp            (default: sudoku)
+//!   policy: cilk | synched | tascell | adaptive | cutoff | library (default: adaptive)
+//!   workers: 1..=64                            (default: 8)
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::Config;
+use adaptivetc_sim::{serial_wall_ns, simulate, Policy};
+
+fn parse_bench(s: &str) -> Option<PaperBench> {
+    Some(match s {
+        "nqueen-array" => PaperBench::NqueenArray,
+        "nqueen-compute" => PaperBench::NqueenCompute,
+        "strimko" => PaperBench::Strimko,
+        "knights" => PaperBench::Knights,
+        "sudoku" => PaperBench::Sudoku,
+        "pentomino" => PaperBench::Pentomino,
+        "fib" => PaperBench::Fib,
+        "comp" => PaperBench::Comp,
+        _ => return None,
+    })
+}
+
+fn parse_policy(s: &str) -> Option<Policy> {
+    Some(match s {
+        "cilk" => Policy::Cilk,
+        "synched" => Policy::CilkSynched,
+        "tascell" => Policy::Tascell,
+        "adaptive" => Policy::AdaptiveTc,
+        "cutoff" => Policy::CutoffProgrammer(3),
+        "library" => Policy::CutoffLibrary,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args
+        .first()
+        .and_then(|s| parse_bench(s))
+        .unwrap_or(PaperBench::Sudoku);
+    let policy = args
+        .get(1)
+        .and_then(|s| parse_policy(s))
+        .unwrap_or(Policy::AdaptiveTc);
+    let workers: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .clamp(1, 64);
+
+    let cost = bench.calibrated_cost();
+    let tree = bench.sim_tree();
+    let out = simulate(&tree, policy, &Config::new(workers), cost);
+    let serial = serial_wall_ns(&tree, &cost) as f64;
+
+    println!(
+        "{} under {} with {} workers — speedup {:.2}x, wall {:.2} ms (virtual)\n",
+        bench.name(),
+        policy.name(),
+        workers,
+        serial / out.wall_ns as f64,
+        out.wall_ns as f64 / 1e6
+    );
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9}",
+        "w", "busy %", "copy %", "deque %", "poll %", "waitkids %", "steal %", "tasks", "steals"
+    );
+    let wall = out.wall_ns.max(1) as f64;
+    for (i, w) in out.report.per_worker.iter().enumerate() {
+        let t = &w.time;
+        println!(
+            "{:>4} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}% {:>8} {:>9}",
+            i,
+            100.0 * t.busy_ns as f64 / wall,
+            100.0 * t.copy_ns as f64 / wall,
+            100.0 * t.deque_ns as f64 / wall,
+            100.0 * t.poll_ns as f64 / wall,
+            100.0 * t.wait_children_ns as f64 / wall,
+            100.0 * t.steal_wait_ns as f64 / wall,
+            w.tasks_created,
+            w.steals_ok
+        );
+    }
+    let s = &out.report.stats;
+    println!(
+        "\ntotals: tasks={} fake={} special={} copies={} ({} B) steals={}/{} polls={}",
+        s.tasks_created,
+        s.fake_tasks,
+        s.special_tasks,
+        s.copies,
+        s.copy_bytes,
+        s.steals_ok,
+        s.steals_ok + s.steals_failed,
+        s.polls
+    );
+}

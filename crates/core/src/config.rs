@@ -1,0 +1,210 @@
+//! Scheduler configuration.
+
+use crate::error::ConfigError;
+
+/// How the task-creation cut-off depth is chosen.
+///
+/// The paper's runtime sets the AdaptiveTC cut-off to `⌈log₂ N⌉` for `N`
+/// threads ([`CutoffPolicy::Auto`]); the fixed-cut-off baselines of Figure 9
+/// use a programmer- or library-chosen constant ([`CutoffPolicy::Fixed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutoffPolicy {
+    /// `⌈log₂ threads⌉`, minimum 1 — the paper's default.
+    Auto,
+    /// A fixed depth.
+    Fixed(u32),
+}
+
+impl CutoffPolicy {
+    /// Resolve the policy to a depth for a given worker count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adaptivetc_core::CutoffPolicy;
+    ///
+    /// assert_eq!(CutoffPolicy::Auto.depth_for(8), 3);
+    /// assert_eq!(CutoffPolicy::Auto.depth_for(5), 3);
+    /// assert_eq!(CutoffPolicy::Auto.depth_for(1), 1);
+    /// assert_eq!(CutoffPolicy::Fixed(7).depth_for(8), 7);
+    /// ```
+    pub fn depth_for(&self, threads: usize) -> u32 {
+        match *self {
+            CutoffPolicy::Fixed(d) => d,
+            CutoffPolicy::Auto => {
+                let t = threads.max(1) as u32;
+                let lg = 32 - (t - 1).leading_zeros(); // ceil(log2 t), 0 for t=1
+                lg.max(1)
+            }
+        }
+    }
+}
+
+/// Configuration shared by all schedulers.
+///
+/// Use the builder-style setters; [`Config::validate`] is called by the
+/// schedulers before running.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::{Config, CutoffPolicy};
+///
+/// let cfg = Config::new(8)
+///     .cutoff(CutoffPolicy::Auto)
+///     .max_stolen_num(20)
+///     .seed(1);
+/// assert_eq!(cfg.threads, 8);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of worker threads (virtual workers in the simulator).
+    pub threads: usize,
+    /// Task-creation cut-off policy.
+    pub cutoff: CutoffPolicy,
+    /// Failed-steal threshold before a victim's `need_task` flag is raised
+    /// (the paper's default is 20).
+    pub max_stolen_num: u32,
+    /// Capacity of each fixed-size d-e-que.
+    pub deque_capacity: usize,
+    /// Seed for all scheduler-internal randomness.
+    pub seed: u64,
+    /// Measure per-activity times (adds instrumentation overhead to the
+    /// threaded runtime; the simulator always reports exact virtual times).
+    pub timing: bool,
+}
+
+impl Config {
+    /// A configuration with the paper's defaults for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Config {
+            threads,
+            cutoff: CutoffPolicy::Auto,
+            max_stolen_num: 20,
+            deque_capacity: 4096,
+            seed: 0x5EED,
+            timing: false,
+        }
+    }
+
+    /// Set the cut-off policy.
+    pub fn cutoff(mut self, cutoff: CutoffPolicy) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Set the failed-steal threshold that raises `need_task`.
+    pub fn max_stolen_num(mut self, n: u32) -> Self {
+        self.max_stolen_num = n;
+        self
+    }
+
+    /// Set the fixed d-e-que capacity.
+    pub fn deque_capacity(mut self, cap: usize) -> Self {
+        self.deque_capacity = cap;
+        self
+    }
+
+    /// Set the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable or disable time instrumentation.
+    pub fn timing(mut self, timing: bool) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The resolved cut-off depth for this configuration.
+    pub fn cutoff_depth(&self) -> u32 {
+        self.cutoff.depth_for(self.threads)
+    }
+
+    /// Check the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `threads == 0`, `deque_capacity < 2`, or
+    /// `max_stolen_num == 0`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.deque_capacity < 2 {
+            return Err(ConfigError::DequeTooSmall(self.deque_capacity));
+        }
+        if self.max_stolen_num == 0 {
+            return Err(ConfigError::ZeroMaxStolen);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_cutoff_is_ceil_log2() {
+        assert_eq!(CutoffPolicy::Auto.depth_for(1), 1);
+        assert_eq!(CutoffPolicy::Auto.depth_for(2), 1);
+        assert_eq!(CutoffPolicy::Auto.depth_for(3), 2);
+        assert_eq!(CutoffPolicy::Auto.depth_for(4), 2);
+        assert_eq!(CutoffPolicy::Auto.depth_for(8), 3);
+        assert_eq!(CutoffPolicy::Auto.depth_for(9), 4);
+        assert_eq!(CutoffPolicy::Auto.depth_for(16), 4);
+    }
+
+    #[test]
+    fn fixed_cutoff_ignores_threads() {
+        assert_eq!(CutoffPolicy::Fixed(5).depth_for(1), 5);
+        assert_eq!(CutoffPolicy::Fixed(5).depth_for(64), 5);
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads() {
+        assert!(Config::new(0).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_tiny_deque() {
+        assert!(Config::new(1).deque_capacity(1).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_max_stolen() {
+        assert!(Config::new(1).max_stolen_num(0).validate().is_err());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let cfg = Config::new(4)
+            .cutoff(CutoffPolicy::Fixed(9))
+            .max_stolen_num(3)
+            .deque_capacity(64)
+            .seed(77)
+            .timing(true);
+        assert_eq!(cfg.cutoff_depth(), 9);
+        assert_eq!(cfg.max_stolen_num, 3);
+        assert_eq!(cfg.deque_capacity, 64);
+        assert_eq!(cfg.seed, 77);
+        assert!(cfg.timing);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn default_is_single_threaded_and_valid() {
+        let cfg = Config::default();
+        assert_eq!(cfg.threads, 1);
+        assert!(cfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid [`Config`](crate::Config) value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `threads` was zero.
+    ZeroThreads,
+    /// `deque_capacity` was below the minimum of 2 (stores the given value).
+    DequeTooSmall(usize),
+    /// `max_stolen_num` was zero (the `need_task` signal would never fire).
+    ZeroMaxStolen,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => write!(f, "thread count must be nonzero"),
+            ConfigError::DequeTooSmall(n) => {
+                write!(f, "deque capacity {n} is below the minimum of 2")
+            }
+            ConfigError::ZeroMaxStolen => write!(f, "max_stolen_num must be nonzero"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A failure while running a scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulerError {
+    /// The configuration was invalid.
+    Config(ConfigError),
+    /// A fixed-capacity d-e-que overflowed (stores the capacity).
+    ///
+    /// The paper notes Cilk's fixed-size array deques are "prone to
+    /// overflow"; this error reproduces that failure mode honestly instead
+    /// of aborting.
+    DequeOverflow(usize),
+    /// A worker thread panicked.
+    WorkerPanicked(usize),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SchedulerError::DequeOverflow(cap) => {
+                write!(f, "work deque overflowed its fixed capacity of {cap}")
+            }
+            SchedulerError::WorkerPanicked(id) => write!(f, "worker thread {id} panicked"),
+        }
+    }
+}
+
+impl Error for SchedulerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedulerError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SchedulerError {
+    fn from(e: ConfigError) -> Self {
+        SchedulerError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        for msg in [
+            ConfigError::ZeroThreads.to_string(),
+            ConfigError::DequeTooSmall(1).to_string(),
+            SchedulerError::DequeOverflow(64).to_string(),
+            SchedulerError::WorkerPanicked(3).to_string(),
+        ] {
+            assert!(!msg.ends_with('.'), "{msg:?} ends with a period");
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("deque"));
+        }
+    }
+
+    #[test]
+    fn scheduler_error_sources_config() {
+        let e = SchedulerError::from(ConfigError::ZeroThreads);
+        assert!(e.source().is_some());
+        assert!(SchedulerError::DequeOverflow(2).source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+        assert_bounds::<SchedulerError>();
+    }
+}

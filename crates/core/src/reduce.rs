@@ -1,0 +1,174 @@
+//! The [`Reduce`] result monoid.
+
+/// A commutative monoid used to combine child-task results.
+///
+/// Work-stealing schedulers complete children in nondeterministic order, so
+/// the combination must be associative **and commutative** with an identity.
+/// Every workload in the paper reduces solution counts with `+`.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::Reduce;
+///
+/// let mut acc = u64::identity();
+/// acc.combine(3);
+/// acc.combine(4);
+/// assert_eq!(acc, 7);
+/// ```
+pub trait Reduce: Send + 'static {
+    /// The identity element (`0` for sums).
+    fn identity() -> Self;
+    /// Fold another value into `self`.
+    fn combine(&mut self, other: Self);
+}
+
+macro_rules! impl_reduce_sum {
+    ($($t:ty),*) => {
+        $(
+            impl Reduce for $t {
+                fn identity() -> Self { 0 }
+                fn combine(&mut self, other: Self) { *self += other; }
+            }
+        )*
+    };
+}
+
+impl_reduce_sum!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Reduce for () {
+    fn identity() -> Self {}
+    fn combine(&mut self, _other: Self) {}
+}
+
+impl Reduce for f64 {
+    fn identity() -> Self {
+        0.0
+    }
+    fn combine(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl<A: Reduce, B: Reduce> Reduce for (A, B) {
+    fn identity() -> Self {
+        (A::identity(), B::identity())
+    }
+    fn combine(&mut self, other: Self) {
+        self.0.combine(other.0);
+        self.1.combine(other.1);
+    }
+}
+
+/// A maximum-reduction wrapper.
+///
+/// Useful for branch-and-bound style results (best score found).
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::Reduce;
+/// use adaptivetc_core::reduce::Max;
+///
+/// let mut best = Max::identity();
+/// best.combine(Max(3));
+/// best.combine(Max(9));
+/// best.combine(Max(5));
+/// assert_eq!(best.0, 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Max<T>(pub T);
+
+impl<T: Ord + Default + Send + 'static> Reduce for Max<T> {
+    fn identity() -> Self {
+        Max(T::default())
+    }
+    fn combine(&mut self, other: Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+}
+
+/// A minimum-reduction wrapper over `Option` (empty = identity).
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::Reduce;
+/// use adaptivetc_core::reduce::Min;
+///
+/// let mut best: Min<u32> = Min::identity();
+/// best.combine(Min(Some(4)));
+/// best.combine(Min(Some(2)));
+/// assert_eq!(best.0, Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Min<T>(pub Option<T>);
+
+impl<T: Ord + Send + 'static> Reduce for Min<T> {
+    fn identity() -> Self {
+        Min(None)
+    }
+    fn combine(&mut self, other: Self) {
+        match (&mut self.0, other.0) {
+            (_, None) => {}
+            (slot @ None, Some(v)) => *slot = Some(v),
+            (Some(cur), Some(v)) => {
+                if v < *cur {
+                    *cur = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_identity_is_zero() {
+        assert_eq!(u64::identity(), 0);
+        assert_eq!(i32::identity(), 0);
+    }
+
+    #[test]
+    fn sum_combines() {
+        let mut a = 5u32;
+        a.combine(7);
+        assert_eq!(a, 12);
+    }
+
+    #[test]
+    fn unit_reduce_is_noop() {
+        <() as Reduce>::identity();
+        ().combine(());
+    }
+
+    #[test]
+    fn pair_reduces_componentwise() {
+        let mut p = <(u64, u64)>::identity();
+        p.combine((1, 10));
+        p.combine((2, 20));
+        assert_eq!(p, (3, 30));
+    }
+
+    #[test]
+    fn max_takes_larger() {
+        let mut m = Max(1u32);
+        m.combine(Max(5));
+        m.combine(Max(3));
+        assert_eq!(m.0, 5);
+    }
+
+    #[test]
+    fn min_ignores_identity() {
+        let mut m: Min<u32> = Min::identity();
+        m.combine(Min::identity());
+        assert_eq!(m.0, None);
+        m.combine(Min(Some(9)));
+        m.combine(Min::identity());
+        assert_eq!(m.0, Some(9));
+    }
+}

@@ -1,0 +1,241 @@
+//! Run statistics: the quantities the paper's evaluation measures.
+//!
+//! Every scheduler (threaded or simulated) fills in a [`RunStats`] per
+//! worker; [`RunReport`] aggregates them. These counters drive the
+//! reproduction of Table 2 (relative one-thread overhead), Figure 6/7
+//! (overhead breakdowns) and the task-count comparisons of Figure 1.
+
+/// Wall-clock / virtual-clock time split by activity, in nanoseconds.
+///
+/// For the threaded runtime these are measured times (only when timing is
+/// enabled in [`Config`](crate::Config)); for the simulator they are exact
+/// virtual durations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Time spent executing user work (`expand`/`apply`/`undo`/leaf work).
+    pub busy_ns: u64,
+    /// Time spent allocating and copying taskprivate workspaces.
+    pub copy_ns: u64,
+    /// Time spent blocked waiting for child tasks to complete (Tascell's
+    /// dominant overhead; AdaptiveTC pays it only inside special tasks).
+    pub wait_children_ns: u64,
+    /// Time spent idle attempting to steal (includes failed attempts and
+    /// back-off).
+    pub steal_wait_ns: u64,
+    /// Time spent polling for steal requests / `need_task` flags.
+    pub poll_ns: u64,
+    /// Time spent on task creation and d-e-que management (Tascell: nested
+    /// function bookkeeping).
+    pub deque_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Sum of all categories.
+    pub fn total_ns(&self) -> u64 {
+        self.busy_ns
+            + self.copy_ns
+            + self.wait_children_ns
+            + self.steal_wait_ns
+            + self.poll_ns
+            + self.deque_ns
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        self.busy_ns += other.busy_ns;
+        self.copy_ns += other.copy_ns;
+        self.wait_children_ns += other.wait_children_ns;
+        self.steal_wait_ns += other.steal_wait_ns;
+        self.poll_ns += other.poll_ns;
+        self.deque_ns += other.deque_ns;
+    }
+
+    /// Fraction of total time spent in a category, `0.0` if nothing was
+    /// recorded.
+    pub fn fraction(&self, category_ns: u64) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            category_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Event counters for one run (or one worker of a run).
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::RunStats;
+///
+/// let mut a = RunStats::default();
+/// a.tasks_created = 3;
+/// let mut b = RunStats::default();
+/// b.tasks_created = 4;
+/// a.merge(&b);
+/// assert_eq!(a.tasks_created, 7);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Tree nodes executed (leaves + interior).
+    pub nodes: u64,
+    /// Real tasks created (pushed to a d-e-que or packaged for a requester).
+    pub tasks_created: u64,
+    /// Nodes executed as fake tasks (plain calls, no d-e-que traffic).
+    pub fake_tasks: u64,
+    /// Special tasks created (AdaptiveTC only).
+    pub special_tasks: u64,
+    /// d-e-que push operations.
+    pub deque_pushes: u64,
+    /// d-e-que pop operations that returned a task.
+    pub deque_pops: u64,
+    /// Pop attempts that lost the THE race (task had been stolen).
+    pub pop_conflicts: u64,
+    /// Successful steals.
+    pub steals_ok: u64,
+    /// Failed steal attempts.
+    pub steals_failed: u64,
+    /// Steal requests sent (Tascell-style request/respond protocols).
+    pub steal_requests: u64,
+    /// Steal requests answered with a task (Tascell victims).
+    pub steal_responses: u64,
+    /// Taskprivate workspace copies performed.
+    pub copies: u64,
+    /// Bytes copied for taskprivate workspaces.
+    pub copy_bytes: u64,
+    /// Workspace allocations (Cilk-SYNCHED reuses buffers: copies stay,
+    /// allocations drop).
+    pub allocations: u64,
+    /// `need_task` / request-flag polls executed.
+    pub polls: u64,
+    /// Tasks suspended at a synchronization point.
+    pub suspensions: u64,
+    /// Peak d-e-que occupancy observed.
+    pub deque_peak: u64,
+    /// d-e-que overflow events (fixed-capacity deques only).
+    pub deque_overflows: u64,
+    /// Time breakdown (zeroes when timing is disabled).
+    pub time: TimeBreakdown,
+}
+
+impl RunStats {
+    /// Accumulate another worker's statistics into this one.
+    ///
+    /// `deque_peak` merges with `max`, everything else with `+`.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.nodes += other.nodes;
+        self.tasks_created += other.tasks_created;
+        self.fake_tasks += other.fake_tasks;
+        self.special_tasks += other.special_tasks;
+        self.deque_pushes += other.deque_pushes;
+        self.deque_pops += other.deque_pops;
+        self.pop_conflicts += other.pop_conflicts;
+        self.steals_ok += other.steals_ok;
+        self.steals_failed += other.steals_failed;
+        self.steal_requests += other.steal_requests;
+        self.steal_responses += other.steal_responses;
+        self.copies += other.copies;
+        self.copy_bytes += other.copy_bytes;
+        self.allocations += other.allocations;
+        self.polls += other.polls;
+        self.suspensions += other.suspensions;
+        self.deque_peak = self.deque_peak.max(other.deque_peak);
+        self.deque_overflows += other.deque_overflows;
+        self.time.merge(&other.time);
+    }
+}
+
+/// The result of a parallel run: aggregated and per-worker statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Statistics summed over all workers.
+    pub stats: RunStats,
+    /// Per-worker statistics, indexed by worker id.
+    pub per_worker: Vec<RunStats>,
+    /// Wall-clock (threaded) or virtual (simulated) duration in ns.
+    pub wall_ns: u64,
+    /// Number of workers used.
+    pub threads: usize,
+}
+
+impl RunReport {
+    /// Build a report by aggregating per-worker statistics.
+    pub fn from_workers(per_worker: Vec<RunStats>, wall_ns: u64) -> Self {
+        let mut stats = RunStats::default();
+        for w in &per_worker {
+            stats.merge(w);
+        }
+        let threads = per_worker.len();
+        RunReport {
+            stats,
+            per_worker,
+            wall_ns,
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_categories() {
+        let t = TimeBreakdown {
+            busy_ns: 1,
+            copy_ns: 2,
+            wait_children_ns: 3,
+            steal_wait_ns: 4,
+            poll_ns: 5,
+            deque_ns: 6,
+        };
+        assert_eq!(t.total_ns(), 21);
+    }
+
+    #[test]
+    fn breakdown_fraction_handles_empty() {
+        let t = TimeBreakdown::default();
+        assert_eq!(t.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn breakdown_fraction() {
+        let t = TimeBreakdown {
+            busy_ns: 75,
+            wait_children_ns: 25,
+            ..Default::default()
+        };
+        assert!((t.fraction(t.wait_children_ns) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_max_peak() {
+        let mut a = RunStats {
+            deque_peak: 4,
+            ..Default::default()
+        };
+        let b = RunStats {
+            deque_peak: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.deque_peak, 9);
+    }
+
+    #[test]
+    fn report_aggregates_workers() {
+        let w0 = RunStats {
+            steals_ok: 2,
+            ..Default::default()
+        };
+        let w1 = RunStats {
+            steals_ok: 3,
+            ..Default::default()
+        };
+        let r = RunReport::from_workers(vec![w0, w1], 1000);
+        assert_eq!(r.stats.steals_ok, 5);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.wall_ns, 1000);
+    }
+}

@@ -1,0 +1,361 @@
+//! A dynamic circular work-stealing deque (Chase & Lev, SPAA 2005).
+//!
+//! The paper cites this design as the established fix for the overflow
+//! proneness of Cilk's fixed arrays: the owner grows the circular buffer
+//! on demand, thieves synchronise with a single CAS on the head index, and
+//! no lock is ever taken. It is provided as a third backing store (next to
+//! [`TheDeque`](crate::TheDeque) and [`PoolDeque`](crate::PoolDeque)) and
+//! exercised by the deque ablation benchmarks.
+//!
+//! Retired buffers are kept alive until the deque is dropped (a thief may
+//! still be reading a stale buffer pointer); for the scheduler workloads
+//! here the deque holds `Arc` handles, so the memory overhead is a few
+//! machine words per growth step.
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
+
+struct Buffer<T> {
+    /// Capacity, always a power of two.
+    cap: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Buffer { cap, slots }))
+    }
+
+    unsafe fn read(&self, index: i64) -> T {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        unsafe { (*slot.get()).assume_init_read() }
+    }
+
+    unsafe fn write(&self, index: i64, value: T) {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        unsafe {
+            (*slot.get()).write(value);
+        }
+    }
+}
+
+/// Result of [`ChaseLevDeque::steal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClSteal<T> {
+    /// A task was stolen.
+    Stolen(T),
+    /// The deque was empty.
+    Empty,
+    /// Lost a race with another thief or the owner; try again.
+    Retry,
+}
+
+/// A lock-free growable work-stealing deque.
+///
+/// The owner calls [`push`](ChaseLevDeque::push) and
+/// [`pop`](ChaseLevDeque::pop); any thread may call
+/// [`steal`](ChaseLevDeque::steal). Unlike the THE deque there is no
+/// special-task support — this is the general-purpose substrate the paper
+/// compares against, not the AdaptiveTC-specific one.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_deque::{ChaseLevDeque, ClSteal};
+///
+/// let dq: ChaseLevDeque<u32> = ChaseLevDeque::new();
+/// for i in 0..1_000 { dq.push(i); }            // grows, never overflows
+/// assert_eq!(dq.steal(), ClSteal::Stolen(0));  // FIFO for thieves
+/// assert_eq!(dq.pop(), Some(999));             // LIFO for the owner
+/// ```
+pub struct ChaseLevDeque<T> {
+    top: CachePadded<AtomicI64>,
+    bottom: CachePadded<AtomicI64>,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by growth, freed on drop.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the Chase-Lev protocol guarantees each index is claimed by
+// exactly one party; retired buffers are only freed with exclusive access.
+unsafe impl<T: Send> Send for ChaseLevDeque<T> {}
+unsafe impl<T: Send> Sync for ChaseLevDeque<T> {}
+
+const MIN_CAP: usize = 16;
+
+impl<T> ChaseLevDeque<T> {
+    /// Create an empty deque with the minimum capacity.
+    pub fn new() -> Self {
+        ChaseLevDeque {
+            top: CachePadded::new(AtomicI64::new(0)),
+            bottom: CachePadded::new(AtomicI64::new(0)),
+            buffer: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Entries currently present (racy; for statistics).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque currently appears empty (racy).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current buffer capacity (for the growth tests).
+    pub fn capacity(&self) -> usize {
+        unsafe { (*self.buffer.load(Ordering::Relaxed)).cap }
+    }
+
+    /// Owner: push at the bottom, growing the buffer if full.
+    pub fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: the owner is the only mutator of `buffer`.
+        unsafe {
+            if (b - t) as usize >= (*buf).cap {
+                buf = self.grow(b, t, buf);
+            }
+            (*buf).write(b, value);
+        }
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Double the buffer, copying live entries. Owner only.
+    unsafe fn grow(&self, b: i64, t: i64, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        // SAFETY (whole fn): owner-exclusive; thieves read the old buffer
+        // only for indices they have claimed via CAS, and raw slot moves do
+        // not drop.
+        unsafe {
+            let new = Buffer::alloc((*old).cap * 2);
+            let mut i = t;
+            while i < b {
+                let v = (*old).read(i);
+                (*new).write(i, v);
+                i += 1;
+            }
+            self.buffer.store(new, Ordering::Release);
+            self.retired.lock().push(old);
+            new
+        }
+    }
+
+    /// Owner: pop from the bottom.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore the canonical shape.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: index b is below the published bottom; contention on the
+        // last element is resolved by the CAS below.
+        let value = unsafe { (*buf).read(b) };
+        if t == b {
+            // Last element: race thieves for it.
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                // Lost: a thief took it; forget our read (the thief owns it).
+                std::mem::forget(value);
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return None;
+            }
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return Some(value);
+        }
+        Some(value)
+    }
+
+    /// Thief: steal from the top.
+    pub fn steal(&self) -> ClSteal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return ClSteal::Empty;
+        }
+        let buf = self.buffer.load(Ordering::Acquire);
+        // Speculatively read, then claim with a CAS; on failure the value
+        // must be forgotten (another party owns the slot).
+        let value = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            std::mem::forget(value);
+            return ClSteal::Retry;
+        }
+        ClSteal::Stolen(value)
+    }
+}
+
+impl<T> Default for ChaseLevDeque<T> {
+    fn default() -> Self {
+        ChaseLevDeque::new()
+    }
+}
+
+impl<T> Drop for ChaseLevDeque<T> {
+    fn drop(&mut self) {
+        // Drain live entries.
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        let mut i = t;
+        while i < b {
+            // SAFETY: exclusive access in Drop.
+            unsafe { drop((*buf).read(i)) };
+            i += 1;
+        }
+        // SAFETY: reconstruct and drop the boxes.
+        unsafe {
+            drop(Box::from_raw(buf));
+            for old in self.retired.lock().drain(..) {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for ChaseLevDeque<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaseLevDeque")
+            .field("top", &self.top.load(Ordering::Relaxed))
+            .field("bottom", &self.bottom.load(Ordering::Relaxed))
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), ClSteal::Stolen(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), ClSteal::Stolen(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), ClSteal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let d: ChaseLevDeque<usize> = ChaseLevDeque::new();
+        let initial = d.capacity();
+        for i in 0..10 * initial {
+            d.push(i);
+        }
+        assert!(d.capacity() > initial);
+        assert_eq!(d.len(), 10 * initial);
+        // Everything still pops in LIFO order.
+        for i in (0..10 * initial).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn pop_empty_repeatedly_is_safe() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        for _ in 0..10 {
+            assert_eq!(d.pop(), None);
+        }
+        d.push(5);
+        assert_eq!(d.pop(), Some(5));
+    }
+
+    #[test]
+    fn drop_releases_entries_and_buffers() {
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let d: ChaseLevDeque<Token> = ChaseLevDeque::new();
+            for _ in 0..100 {
+                d.push(Token); // forces growth with live entries
+            }
+            for _ in 0..40 {
+                drop(d.pop());
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const ROUNDS: u64 = 30_000;
+        let d: Arc<ChaseLevDeque<u64>> = Arc::new(ChaseLevDeque::new());
+        let stolen = Arc::new(AtomicU64::new(0));
+        let popped = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let d = Arc::clone(&d);
+                let stolen = Arc::clone(&stolen);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || loop {
+                    match d.steal() {
+                        ClSteal::Stolen(v) => {
+                            stolen.fetch_add(v, Ordering::Relaxed);
+                        }
+                        ClSteal::Retry => std::hint::spin_loop(),
+                        ClSteal::Empty => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for i in 1..=ROUNDS {
+                d.push(i);
+                if i % 2 == 0 {
+                    if let Some(v) = d.pop() {
+                        popped.fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(v) = d.pop() {
+                popped.fetch_add(v, Ordering::Relaxed);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(
+            stolen.load(Ordering::SeqCst) + popped.load(Ordering::SeqCst),
+            ROUNDS * (ROUNDS + 1) / 2
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The `stolen_num` / `need_task` back-pressure signal.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Per-worker signal through which thieves ask a busy victim for tasks.
+///
+/// Reproduces the bottom half of the paper's Figure 3: a thief that fails to
+/// steal from a victim increments the victim's `stolen_num`; once it exceeds
+/// `max_stolen_num` the victim's `need_task` flag is raised. A successful
+/// steal clears both. The victim's *check version* polls
+/// [`needs_task`](NeedTask::needs_task) and responds by pushing a special
+/// task.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_deque::NeedTask;
+///
+/// let sig = NeedTask::new(3);
+/// for _ in 0..3 { sig.record_steal_failure(); }
+/// assert!(!sig.needs_task());     // threshold not yet exceeded
+/// sig.record_steal_failure();
+/// assert!(sig.needs_task());      // stolen_num > max_stolen_num
+/// sig.record_steal_success();
+/// assert!(!sig.needs_task());
+/// ```
+#[derive(Debug)]
+pub struct NeedTask {
+    stolen_num: AtomicU32,
+    need_task: AtomicBool,
+    max_stolen_num: u32,
+}
+
+impl NeedTask {
+    /// Create a signal with the given `max_stolen_num` threshold (the
+    /// paper's runtime defaults to 20).
+    pub fn new(max_stolen_num: u32) -> Self {
+        NeedTask {
+            stolen_num: AtomicU32::new(0),
+            need_task: AtomicBool::new(false),
+            max_stolen_num,
+        }
+    }
+
+    /// A thief failed to steal from this victim.
+    pub fn record_steal_failure(&self) {
+        let n = self.stolen_num.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.max_stolen_num {
+            self.need_task.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// A thief successfully stole from this victim: clear the signal.
+    pub fn record_steal_success(&self) {
+        self.stolen_num.store(0, Ordering::Relaxed);
+        self.need_task.store(false, Ordering::Relaxed);
+    }
+
+    /// Polled by the victim's check version.
+    pub fn needs_task(&self) -> bool {
+        self.need_task.load(Ordering::Relaxed)
+    }
+
+    /// Acknowledge the signal after pushing a special task, so one request
+    /// produces one transition.
+    pub fn acknowledge(&self) {
+        self.stolen_num.store(0, Ordering::Relaxed);
+        self.need_task.store(false, Ordering::Relaxed);
+    }
+
+    /// Current consecutive-failure count (for statistics).
+    pub fn stolen_num(&self) -> u32 {
+        self.stolen_num.load(Ordering::Relaxed)
+    }
+
+    /// The configured threshold.
+    pub fn max_stolen_num(&self) -> u32 {
+        self.max_stolen_num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_strict() {
+        let s = NeedTask::new(2);
+        s.record_steal_failure();
+        s.record_steal_failure();
+        assert!(!s.needs_task(), "need_task raised at, not above, the threshold");
+        s.record_steal_failure();
+        assert!(s.needs_task());
+    }
+
+    #[test]
+    fn success_clears() {
+        let s = NeedTask::new(1);
+        s.record_steal_failure();
+        s.record_steal_failure();
+        assert!(s.needs_task());
+        s.record_steal_success();
+        assert!(!s.needs_task());
+        assert_eq!(s.stolen_num(), 0);
+    }
+
+    #[test]
+    fn acknowledge_clears() {
+        let s = NeedTask::new(1);
+        s.record_steal_failure();
+        s.record_steal_failure();
+        s.acknowledge();
+        assert!(!s.needs_task());
+    }
+
+    #[test]
+    fn exposes_threshold() {
+        assert_eq!(NeedTask::new(20).max_stolen_num(), 20);
+    }
+}

@@ -1,0 +1,198 @@
+//! Model-based property tests: single-threaded op sequences against a
+//! reference double-ended queue model.
+
+use adaptivetc_deque::{PoolDeque, PopSpecial, StealOutcome, TheDeque};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    PushSpecial(u32),
+    Pop,
+    PopSpecial,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..1000).prop_map(Op::Push),
+        (0u32..1000).prop_map(Op::PushSpecial),
+        Just(Op::Pop),
+        Just(Op::Steal),
+        Just(Op::PopSpecial),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Task,
+    Special,
+}
+
+/// Reference model mirroring the documented THE semantics.
+#[derive(Default)]
+struct Model {
+    items: VecDeque<(Kind, u32)>,
+}
+
+impl Model {
+    fn push(&mut self, v: u32, k: Kind) {
+        self.items.push_back((k, v));
+    }
+    fn pop(&mut self) -> Option<u32> {
+        match self.items.back() {
+            Some((Kind::Task, _)) => self.items.pop_back().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn pop_special(&mut self) -> Option<u32> {
+        match self.items.back() {
+            Some((Kind::Special, _)) => self.items.pop_back().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn steal(&mut self) -> Option<u32> {
+        match self.items.front() {
+            Some((Kind::Task, _)) => self.items.pop_front().map(|(_, v)| v),
+            Some((Kind::Special, _)) => match self.items.get(1) {
+                Some((Kind::Task, _)) => {
+                    self.items.pop_front();
+                    self.items.pop_front().map(|(_, v)| v)
+                }
+                _ => None,
+            },
+            None => None,
+        }
+    }
+}
+
+/// Only apply ops that respect the matched push/pop discipline the deques
+/// document; unmatched pops are filtered by consulting the model first.
+fn valid_pop(model: &Model) -> bool {
+    matches!(model.items.back(), Some((Kind::Task, _)) | None)
+}
+fn valid_pop_special(model: &Model) -> bool {
+    matches!(model.items.back(), Some((Kind::Special, _)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pool_deque_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let dq: PoolDeque<u32> = PoolDeque::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Push(v) => { dq.push(v); model.push(v, Kind::Task); }
+                Op::PushSpecial(v) => { dq.push_special(v); model.push(v, Kind::Special); }
+                Op::Pop => {
+                    if valid_pop(&model) {
+                        prop_assert_eq!(dq.pop(), model.pop());
+                    }
+                }
+                Op::PopSpecial => {
+                    if valid_pop_special(&model) {
+                        let expect = model.pop_special().map(PopSpecial::Reclaimed)
+                            .unwrap_or(PopSpecial::ChildStolen);
+                        prop_assert_eq!(dq.pop_special(), expect);
+                    }
+                }
+                Op::Steal => {
+                    let expect = model.steal().map(StealOutcome::Stolen)
+                        .unwrap_or(StealOutcome::Empty);
+                    prop_assert_eq!(dq.steal(), expect);
+                }
+            }
+            prop_assert_eq!(dq.len(), model.items.len());
+        }
+    }
+
+    #[test]
+    fn the_deque_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let dq: TheDeque<u32> = TheDeque::new(512);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Push(v) => { dq.push(v).unwrap(); model.push(v, Kind::Task); }
+                Op::PushSpecial(v) => { dq.push_special(v).unwrap(); model.push(v, Kind::Special); }
+                Op::Pop => {
+                    if valid_pop(&model) {
+                        prop_assert_eq!(dq.pop(), model.pop());
+                    }
+                }
+                Op::PopSpecial => {
+                    if valid_pop_special(&model) {
+                        let expect = model.pop_special().map(PopSpecial::Reclaimed)
+                            .unwrap_or(PopSpecial::ChildStolen);
+                        prop_assert_eq!(dq.pop_special(), expect);
+                    }
+                }
+                Op::Steal => {
+                    let expect = model.steal().map(StealOutcome::Stolen)
+                        .unwrap_or(StealOutcome::Empty);
+                    prop_assert_eq!(dq.steal(), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_deque_overflow_boundary(cap in 2usize..64, extra in 1usize..10) {
+        let dq: TheDeque<usize> = TheDeque::new(cap);
+        for i in 0..cap {
+            prop_assert!(dq.push(i).is_ok());
+        }
+        for _ in 0..extra {
+            prop_assert!(dq.push(0).is_err());
+        }
+        // Freeing one slot admits exactly one more push.
+        prop_assert!(dq.pop().is_some());
+        prop_assert!(dq.push(99).is_ok());
+        prop_assert!(dq.push(100).is_err());
+    }
+}
+
+mod chase_lev_model {
+    use adaptivetc_deque::{ChaseLevDeque, ClSteal};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Push(u32),
+        Pop,
+        Steal,
+    }
+
+    fn ops() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..1000).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Steal),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn chase_lev_matches_model(ops in proptest::collection::vec(ops(), 1..300)) {
+            let dq: ChaseLevDeque<u32> = ChaseLevDeque::new();
+            let mut model: VecDeque<u32> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Op::Push(v) => { dq.push(v); model.push_back(v); }
+                    Op::Pop => prop_assert_eq!(dq.pop(), model.pop_back()),
+                    Op::Steal => {
+                        let expect = model.pop_front().map(ClSteal::Stolen)
+                            .unwrap_or(ClSteal::Empty);
+                        prop_assert_eq!(dq.steal(), expect);
+                    }
+                }
+                prop_assert_eq!(dq.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! The shared deque-based execution engine.
+//!
+//! One engine implements four scheduling policies as [`Mode`]s, because they
+//! are all points on the same design axis — *when does a spawn create a
+//! task?*:
+//!
+//! * [`Mode::Cilk`] — always (the work-first Cilk 5 policy): every spawn
+//!   pushes the parent continuation and copies the child's taskprivate
+//!   workspace.
+//! * [`Mode::CilkSynched`] — as Cilk, but workspace buffers are recycled
+//!   through a per-worker free list (the `SYNCHED` idiom: allocations drop,
+//!   copies remain).
+//! * [`Mode::CutoffSequence`] / [`Mode::CutoffCopy`] — tasks only above a
+//!   fixed cut-off depth; below it, plain recursion. The *programmer*
+//!   variant knows the subtree is sequential and skips workspace copies; the
+//!   *library* variant cannot and still copies per child (Figure 9).
+//! * [`Mode::Adaptive`] — the paper's AdaptiveTC: tasks above `⌈log₂ N⌉`
+//!   (the **fast** version), then fake tasks that poll `need_task` (the
+//!   **check** version), transitioning through a **special task** into
+//!   **fast_2** (doubled cut-off, task depth reset to 0) and finally the
+//!   **sequence** version. Stolen tasks resume in the **slow** version
+//!   (fast/check rules).
+//!
+//! The engine tracks two depths: the *logical* depth (distance from the root
+//! node, passed to [`Problem::expand`]) and the *task* depth (the paper's
+//! cut-off counter, reset to 0 under a special task).
+//!
+//! The engine uses continuation stealing over
+//! [`TheDeque`](adaptivetc_deque::TheDeque): a spawn pushes the parent
+//! frame, the worker dives into the child, and the matched pop detects theft
+//! (the THE protocol race). Results flow through the asynchronous delivery
+//! chain in [`crate::frame`].
+
+use crate::frame::{deliver, Frame, OutCell, Parent};
+use adaptivetc_core::{Config, Expansion, Problem, Reduce, RunReport, RunStats, XorShift64};
+use adaptivetc_deque::{NeedTask, PopSpecial, StealOutcome, TheDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which scheduling policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Work-first Cilk: every spawn is a task with a workspace copy.
+    Cilk,
+    /// Cilk with `SYNCHED`-style workspace buffer reuse.
+    CilkSynched,
+    /// Fixed cut-off, sequential (copy-free) recursion below it
+    /// ("Cutoff-programmer").
+    CutoffSequence,
+    /// Fixed cut-off, but workspace copies at every node below it
+    /// ("Cutoff-library").
+    CutoffCopy,
+    /// The AdaptiveTC five-version state machine.
+    Adaptive,
+}
+
+/// The code-version regime a frame's children are spawned under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Regime {
+    /// fast / slow versions: cut-off = `cutoff`; beyond it, the check
+    /// version.
+    Fast,
+    /// fast_2 version: cut-off = `2 * cutoff`; beyond it, the sequence
+    /// version.
+    Fast2,
+}
+
+struct Shared<'p, P: Problem> {
+    problem: &'p P,
+    deques: Vec<TheDeque<Arc<Frame<P>>>>,
+    signals: Vec<NeedTask>,
+    root: Arc<OutCell<P::Out>>,
+    mode: Mode,
+    cutoff: u32,
+    timing: bool,
+}
+
+#[inline]
+fn now_if(enabled: bool) -> Option<Instant> {
+    enabled.then(Instant::now)
+}
+
+#[inline]
+fn lap(field: &mut u64, start: Option<Instant>) {
+    if let Some(t0) = start {
+        *field += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+struct Worker<'s, 'p, P: Problem> {
+    shared: &'s Shared<'p, P>,
+    id: usize,
+    stats: RunStats,
+    rng: XorShift64,
+    /// Recycled workspace buffers (SYNCHED mode only).
+    freelist: Vec<P::State>,
+}
+
+impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
+    fn new(shared: &'s Shared<'p, P>, id: usize, rng: XorShift64) -> Self {
+        Worker {
+            shared,
+            id,
+            stats: RunStats::default(),
+            rng,
+            freelist: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn problem(&self) -> &'p P {
+        self.shared.problem
+    }
+
+    #[inline]
+    fn my_deque(&self) -> &TheDeque<Arc<Frame<P>>> {
+        &self.shared.deques[self.id]
+    }
+
+    #[inline]
+    fn my_signal(&self) -> &NeedTask {
+        &self.shared.signals[self.id]
+    }
+
+    /// The paper's taskprivate copy: allocate (or recycle) and memcpy.
+    fn clone_state(&mut self, src: &P::State) -> P::State {
+        let t0 = now_if(self.shared.timing);
+        let state = if self.shared.mode == Mode::CilkSynched {
+            match self.freelist.pop() {
+                Some(mut buf) => {
+                    buf.clone_from(src);
+                    buf
+                }
+                None => {
+                    self.stats.allocations += 1;
+                    src.clone()
+                }
+            }
+        } else {
+            self.stats.allocations += 1;
+            src.clone()
+        };
+        self.stats.copies += 1;
+        self.stats.copy_bytes += self.problem().state_bytes(src) as u64;
+        lap(&mut self.stats.time.copy_ns, t0);
+        state
+    }
+
+    /// Return a dead workspace buffer to the SYNCHED free list.
+    fn recycle(&mut self, state: P::State) {
+        if self.shared.mode == Mode::CilkSynched && self.freelist.len() < 128 {
+            self.freelist.push(state);
+        }
+    }
+
+    /// Push a continuation entry, tolerating overflow by leaving the child
+    /// unstealable (executed inline); returns whether the entry was pushed.
+    fn push_entry(&mut self, frame: Arc<Frame<P>>, special: bool) -> bool {
+        let result = if special {
+            self.my_deque().push_special(frame)
+        } else {
+            self.my_deque().push(frame)
+        };
+        match result {
+            Ok(()) => {
+                self.stats.deque_pushes += 1;
+                self.stats.deque_peak = self.stats.deque_peak.max(self.my_deque().len() as u64);
+                true
+            }
+            Err(_) => {
+                self.stats.deque_overflows += 1;
+                false
+            }
+        }
+    }
+
+    /// Does a child at task depth `tdepth` run as a task (with a frame)?
+    fn task_mode(&self, tdepth: u32, regime: Regime) -> bool {
+        match self.shared.mode {
+            Mode::Cilk | Mode::CilkSynched => true,
+            Mode::CutoffSequence | Mode::CutoffCopy => tdepth < self.shared.cutoff,
+            Mode::Adaptive => match regime {
+                Regime::Fast => tdepth < self.shared.cutoff,
+                Regime::Fast2 => tdepth < self.shared.cutoff * 2,
+            },
+        }
+    }
+
+    /// Execute a node given an owned workspace, delivering its subtree
+    /// result to `parent`.
+    fn exec_node(
+        &mut self,
+        mut state: P::State,
+        logical: u32,
+        tdepth: u32,
+        parent: Parent<P>,
+        regime: Regime,
+    ) {
+        self.stats.nodes += 1;
+        match self.problem().expand(&state, logical) {
+            Expansion::Leaf(out) => {
+                self.recycle(state);
+                deliver(&parent, out);
+            }
+            Expansion::Children(choices) => {
+                if self.task_mode(tdepth, regime) {
+                    let frame = Frame::new(parent, Some(state), choices, logical, tdepth);
+                    self.frame_loop(frame, regime);
+                } else {
+                    let out = match (self.shared.mode, regime) {
+                        (Mode::CutoffSequence, _) => self.sequence(&mut state, logical, choices),
+                        (Mode::CutoffCopy, _) => self.sequence_copy(&state, logical, choices),
+                        // Appendix C: the check version recurses into the
+                        // check version at every depth; only fast_2 falls
+                        // through to the sequence version.
+                        (Mode::Adaptive, Regime::Fast) => {
+                            self.check(&mut state, logical, choices)
+                        }
+                        (Mode::Adaptive, Regime::Fast2) => {
+                            self.sequence(&mut state, logical, choices)
+                        }
+                        (Mode::Cilk | Mode::CilkSynched, _) => unreachable!("always task mode"),
+                    };
+                    self.recycle(state);
+                    deliver(&parent, out);
+                }
+            }
+        }
+    }
+
+    /// Run a frame's continuation: spawn each remaining child as a task.
+    ///
+    /// This is the loop body shared by the fast, fast_2 and slow versions;
+    /// stolen frames enter here with `Regime::Fast` (the slow version
+    /// "restores the program counter" — `inner.next` — and continues).
+    fn frame_loop(&mut self, frame: Arc<Frame<P>>, regime: Regime) {
+        loop {
+            let next = {
+                let mut g = frame.inner.lock();
+                if g.next >= g.choices.len() {
+                    None
+                } else {
+                    let c = g.choices[g.next];
+                    g.next += 1;
+                    g.outstanding += 1;
+                    // After the last spawn the continuation holds nothing
+                    // stealable (only the sync), so its entry is elided —
+                    // otherwise chain-shaped trees fill deques with dead
+                    // continuations that satisfy thieves without feeding
+                    // them.
+                    Some((c, g.next < g.choices.len()))
+                }
+            };
+            let Some((choice, stealable)) = next else { break };
+            // Workspace copy for the spawned child (taskprivate), taken
+            // outside the lock: thieves contending for this frame only need
+            // the lock briefly.
+            let mut child_state = {
+                let g = frame.inner.lock();
+                let src = g.state.as_ref().expect("regular frames own a workspace");
+                self.clone_state(src)
+            };
+            self.problem().apply(&mut child_state, choice);
+            self.stats.tasks_created += 1;
+            let pushed = stealable && self.push_entry(Arc::clone(&frame), false);
+            self.exec_node(
+                child_state,
+                frame.logical + 1,
+                frame.depth + 1,
+                Parent::Frame(Arc::clone(&frame)),
+                regime,
+            );
+            if pushed {
+                match self.my_deque().pop() {
+                    Some(_) => {
+                        self.stats.deque_pops += 1;
+                    }
+                    None => {
+                        // Continuation stolen: a thief now runs this frame's
+                        // remaining children; unwind to the steal loop.
+                        self.stats.pop_conflicts += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        if let Some(out) = frame.finish_continuation() {
+            // Completed synchronously: the workspace buffer is dead and can
+            // be recycled (the SYNCHED space reuse).
+            if let Some(state) = frame.inner.lock().state.take() {
+                self.recycle(state);
+            }
+            deliver(&frame.parent, out);
+        }
+    }
+
+    /// The sequence version: plain recursion, no tasks, no copies, no polls.
+    fn sequence(&mut self, state: &mut P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
+        self.stats.fake_tasks += 1;
+        let mut acc = P::Out::identity();
+        for c in choices {
+            self.problem().apply(state, c);
+            self.stats.nodes += 1;
+            match self.problem().expand(state, logical + 1) {
+                Expansion::Leaf(out) => acc.combine(out),
+                Expansion::Children(cs) => acc.combine(self.sequence(state, logical + 1, cs)),
+            }
+            self.problem().undo(state, c);
+        }
+        acc
+    }
+
+    /// The Cutoff-library sequential region: recursion that still pays a
+    /// workspace copy per child (the library cannot know the subtree is
+    /// sequential, so taskprivate semantics force the copy).
+    fn sequence_copy(&mut self, state: &P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
+        self.stats.fake_tasks += 1;
+        let mut acc = P::Out::identity();
+        for c in choices {
+            let mut child = self.clone_state(state);
+            self.problem().apply(&mut child, c);
+            self.stats.nodes += 1;
+            match self.problem().expand(&child, logical + 1) {
+                Expansion::Leaf(out) => acc.combine(out),
+                Expansion::Children(cs) => {
+                    acc.combine(self.sequence_copy(&child, logical + 1, cs))
+                }
+            }
+            self.recycle(child);
+        }
+        acc
+    }
+
+    /// The check version: fake tasks that poll `need_task` once per node and
+    /// transition through a special task when another thread is starving
+    /// (Appendix C: the `!need_task` branch recurses into the check version
+    /// at every depth).
+    fn check(&mut self, state: &mut P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
+        self.stats.polls += 1;
+        if !self.my_signal().needs_task() {
+            self.stats.fake_tasks += 1;
+            let mut acc = P::Out::identity();
+            for c in choices {
+                self.problem().apply(state, c);
+                self.stats.nodes += 1;
+                match self.problem().expand(state, logical + 1) {
+                    Expansion::Leaf(out) => acc.combine(out),
+                    Expansion::Children(cs) => acc.combine(self.check(state, logical + 1, cs)),
+                }
+                self.problem().undo(state, c);
+            }
+            acc
+        } else {
+            self.special_section(state, logical, choices)
+        }
+    }
+
+    /// Transition from fake tasks back to tasks: create a special task, run
+    /// every child through the fast_2 version with its task depth reset to
+    /// 0, and wait for stolen children at the end (`sync_specialtask`).
+    fn special_section(
+        &mut self,
+        state: &mut P::State,
+        logical: u32,
+        choices: Vec<P::Choice>,
+    ) -> P::Out {
+        self.stats.special_tasks += 1;
+        self.my_signal().acknowledge();
+        let waiter: Arc<OutCell<P::Out>> = OutCell::new();
+        let special = Frame::new(Parent::Cell(Arc::clone(&waiter)), None, Vec::new(), logical, 0);
+        for c in choices {
+            {
+                special.inner.lock().outstanding += 1;
+            }
+            let mut child = self.clone_state(state);
+            self.problem().apply(&mut child, c);
+            self.stats.tasks_created += 1;
+            let pushed = self.push_entry(Arc::clone(&special), true);
+            self.exec_node(
+                child,
+                logical + 1,
+                0,
+                Parent::Frame(Arc::clone(&special)),
+                Regime::Fast2,
+            );
+            if pushed {
+                match self.my_deque().pop_special() {
+                    PopSpecial::Reclaimed(_) => {
+                        self.stats.deque_pops += 1;
+                    }
+                    PopSpecial::ChildStolen => {
+                        self.stats.pop_conflicts += 1;
+                    }
+                }
+            }
+        }
+        // sync_specialtask: the special task cannot be suspended — wait for
+        // every child to deliver before resuming the fake task.
+        if let Some(out) = special.finish_continuation() {
+            return out;
+        }
+        self.stats.suspensions += 1;
+        let t0 = now_if(self.shared.timing);
+        let out = waiter.wait();
+        lap(&mut self.stats.time.wait_children_ns, t0);
+        out
+    }
+
+    /// Steal until the root result is ready.
+    fn steal_loop(&mut self) {
+        let n = self.shared.deques.len();
+        if n == 1 {
+            return;
+        }
+        let mut idle_since = now_if(self.shared.timing);
+        let mut consecutive_failures = 0u32;
+        while !self.shared.root.is_done() {
+            let victim = {
+                let mut v = self.rng.below_usize(n - 1);
+                if v >= self.id {
+                    v += 1;
+                }
+                v
+            };
+            match self.shared.deques[victim].steal() {
+                StealOutcome::Stolen(frame) => {
+                    self.shared.signals[victim].record_steal_success();
+                    self.stats.steals_ok += 1;
+                    consecutive_failures = 0;
+                    lap(&mut self.stats.time.steal_wait_ns, idle_since.take());
+                    // The slow version: resume the stolen continuation under
+                    // fast/check rules.
+                    self.frame_loop(frame, Regime::Fast);
+                    idle_since = now_if(self.shared.timing);
+                }
+                StealOutcome::Empty => {
+                    self.shared.signals[victim].record_steal_failure();
+                    self.stats.steals_failed += 1;
+                    consecutive_failures += 1;
+                    if consecutive_failures.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        lap(&mut self.stats.time.steal_wait_ns, idle_since.take());
+    }
+}
+
+/// Run `problem` under `mode` with the given configuration.
+///
+/// Returns the reduced result and a [`RunReport`] with per-worker
+/// statistics.
+///
+/// # Errors
+///
+/// Returns [`adaptivetc_core::SchedulerError::Config`] for invalid
+/// configurations and `WorkerPanicked` if a worker thread panics. Deque
+/// overflow is tolerated (the child runs inline, unstealable) and surfaced
+/// via `RunStats::deque_overflows`.
+pub fn run<P: Problem>(
+    problem: &P,
+    cfg: &Config,
+    mode: Mode,
+) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
+    cfg.validate()?;
+    let threads = cfg.threads;
+    let shared = Shared {
+        problem,
+        deques: (0..threads)
+            .map(|_| TheDeque::new(cfg.deque_capacity))
+            .collect(),
+        signals: (0..threads)
+            .map(|_| NeedTask::new(cfg.max_stolen_num))
+            .collect(),
+        root: OutCell::new(),
+        mode,
+        cutoff: cfg.cutoff_depth().max(1),
+        timing: cfg.timing,
+    };
+    let mut seeder = XorShift64::new(cfg.seed);
+    let seeds: Vec<XorShift64> = (0..threads).map(|_| seeder.split()).collect();
+
+    let start = Instant::now();
+    let per_worker = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for (id, rng) in seeds.into_iter().enumerate() {
+            let shared = &shared;
+            handles.push(s.spawn(move || {
+                let mut w = Worker::new(shared, id, rng);
+                if id == 0 {
+                    let root_state = shared.problem.root();
+                    w.stats.tasks_created += 1; // the root task
+                    w.exec_node(
+                        root_state,
+                        0,
+                        0,
+                        Parent::Cell(Arc::clone(&shared.root)),
+                        Regime::Fast,
+                    );
+                }
+                w.steal_loop();
+                w.stats
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(id, h)| {
+                h.join()
+                    .map_err(|_| adaptivetc_core::SchedulerError::WorkerPanicked(id))
+            })
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let out = shared.root.wait();
+    Ok((out, RunReport::from_workers(per_worker, wall_ns)))
+}

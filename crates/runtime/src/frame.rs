@@ -1,0 +1,270 @@
+//! Task frames and the asynchronous result-delivery chain.
+//!
+//! A [`Frame`] is the runtime representation of a *task*: the continuation of
+//! a node whose children are being spawned. It corresponds to the
+//! `task_info` structure the AdaptiveTC compiler allocates at the entry of a
+//! fast version (saved program counter = `next`, saved live variables =
+//! `state` + `acc`).
+//!
+//! Results flow bottom-up: every spawned child eventually delivers its
+//! subtree result into its parent frame. The frame completes when its
+//! continuation has finished *and* all children have delivered; completion
+//! delivers the frame's own accumulated result one level up, cascading until
+//! a root/waiter [`OutCell`] is reached. Suspension at a `sync` is implicit:
+//! the continuation finishes with children outstanding, the worker walks
+//! away, and the last delivering child performs the completion (the paper's
+//! Terminate rule (3)).
+
+use adaptivetc_core::{Problem, Reduce};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A one-shot result mailbox with blocking wait.
+///
+/// Used for the root task's final result and for the special task's
+/// `sync_specialtask` wait.
+#[derive(Debug)]
+pub(crate) struct OutCell<O> {
+    slot: Mutex<Option<O>>,
+    cv: Condvar,
+    done: AtomicBool,
+}
+
+impl<O: Send> OutCell<O> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(OutCell {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn deliver(&self, out: O) {
+        let mut g = self.slot.lock();
+        debug_assert!(g.is_none(), "OutCell delivered twice");
+        *g = Some(out);
+        self.done.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking readiness check (workers poll this to terminate).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block until the value arrives.
+    pub(crate) fn wait(&self) -> O {
+        let mut g = self.slot.lock();
+        while g.is_none() {
+            self.cv.wait(&mut g);
+        }
+        g.take().expect("guarded by loop")
+    }
+}
+
+/// Where a frame delivers its completed result.
+pub(crate) enum Parent<P: Problem> {
+    /// A root or special-task waiter mailbox.
+    Cell(Arc<OutCell<P::Out>>),
+    /// An enclosing frame.
+    Frame(Arc<Frame<P>>),
+}
+
+impl<P: Problem> Clone for Parent<P> {
+    fn clone(&self) -> Self {
+        match self {
+            Parent::Cell(c) => Parent::Cell(Arc::clone(c)),
+            Parent::Frame(f) => Parent::Frame(Arc::clone(f)),
+        }
+    }
+}
+
+/// The mutable core of a frame, guarded by the frame lock.
+pub(crate) struct Inner<P: Problem> {
+    /// The node's taskprivate workspace (the *parent's* copy; children get
+    /// clones). `None` only for special tasks, which never spawn from their
+    /// own workspace — their children are cloned from the enclosing fake
+    /// task's in-place workspace.
+    pub state: Option<P::State>,
+    /// Choices at this node, in order.
+    pub choices: Vec<P::Choice>,
+    /// Index of the next choice to spawn (the saved program counter).
+    pub next: usize,
+    /// Partial reduction of delivered child results.
+    pub acc: P::Out,
+    /// Children spawned but not yet delivered, plus 1 for the running
+    /// continuation itself.
+    pub outstanding: u32,
+}
+
+/// A heap-allocated task continuation.
+pub(crate) struct Frame<P: Problem> {
+    pub parent: Parent<P>,
+    pub inner: Mutex<Inner<P>>,
+    /// Task depth (the paper's cut-off counter; reset to 0 under a special
+    /// task).
+    pub depth: u32,
+    /// Logical depth of the node in the problem tree (always root-relative;
+    /// passed to `Problem::expand`).
+    pub logical: u32,
+}
+
+impl<P: Problem> Frame<P> {
+    /// Create a frame for a node whose continuation is about to run.
+    pub(crate) fn new(
+        parent: Parent<P>,
+        state: Option<P::State>,
+        choices: Vec<P::Choice>,
+        logical: u32,
+        depth: u32,
+    ) -> Arc<Self> {
+        Arc::new(Frame {
+            parent,
+            inner: Mutex::new(Inner {
+                state,
+                choices,
+                next: 0,
+                acc: P::Out::identity(),
+                outstanding: 1, // the continuation itself
+            }),
+            depth,
+            logical,
+        })
+    }
+
+    /// Merge a child's result; returns the frame's completed result if this
+    /// was the last outstanding obligation.
+    fn absorb(&self, out: P::Out) -> Option<P::Out> {
+        let mut g = self.inner.lock();
+        g.acc.combine(out);
+        g.outstanding -= 1;
+        if g.outstanding == 0 {
+            Some(std::mem::replace(&mut g.acc, P::Out::identity()))
+        } else {
+            None
+        }
+    }
+
+    /// The continuation finished its loop (reached the sync point); returns
+    /// the completed result if no children are outstanding, otherwise the
+    /// frame is left suspended for the last child to complete.
+    pub(crate) fn finish_continuation(&self) -> Option<P::Out> {
+        let mut g = self.inner.lock();
+        g.outstanding -= 1;
+        if g.outstanding == 0 {
+            Some(std::mem::replace(&mut g.acc, P::Out::identity()))
+        } else {
+            None
+        }
+    }
+}
+
+/// Deliver `out` produced by a child of `parent`, cascading completions
+/// upward. Iterative to keep completion chains off the call stack.
+pub(crate) fn deliver<P: Problem>(parent: &Parent<P>, out: P::Out) {
+    let mut current = parent.clone();
+    let mut value = out;
+    loop {
+        match current {
+            Parent::Cell(cell) => {
+                cell.deliver(value);
+                return;
+            }
+            Parent::Frame(f) => match f.absorb(value) {
+                None => return,
+                Some(completed) => {
+                    value = completed;
+                    current = f.parent.clone();
+                }
+            },
+        }
+    }
+}
+
+/// As [`deliver`], but for a continuation that has just finished its loop.
+#[cfg(test)]
+pub(crate) fn finish_and_deliver<P: Problem>(frame: &Arc<Frame<P>>) {
+    if let Some(completed) = frame.finish_continuation() {
+        deliver(&frame.parent, completed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::Expansion;
+
+    struct Nop;
+    impl Problem for Nop {
+        type State = ();
+        type Choice = u8;
+        type Out = u64;
+        fn root(&self) {}
+        fn expand(&self, _: &(), _: u32) -> Expansion<u8, u64> {
+            Expansion::Leaf(0)
+        }
+        fn apply(&self, _: &mut (), _: u8) {}
+        fn undo(&self, _: &mut (), _: u8) {}
+    }
+
+    fn leaf_frame(parent: Parent<Nop>, children: u32) -> Arc<Frame<Nop>> {
+        let f = Frame::new(parent, Some(()), vec![0; children as usize], 0, 0);
+        f.inner.lock().outstanding += children; // pretend children were spawned
+        f
+    }
+
+    #[test]
+    fn out_cell_roundtrip() {
+        let cell: Arc<OutCell<u64>> = OutCell::new();
+        assert!(!cell.is_done());
+        cell.deliver(42);
+        assert!(cell.is_done());
+        assert_eq!(cell.wait(), 42);
+    }
+
+    #[test]
+    fn frame_completes_after_children_and_continuation() {
+        let cell = OutCell::new();
+        let f = leaf_frame(Parent::Cell(Arc::clone(&cell)), 2);
+        deliver(&Parent::Frame(Arc::clone(&f)), 10);
+        assert!(!cell.is_done());
+        finish_and_deliver(&f); // continuation done, one child pending
+        assert!(!cell.is_done());
+        deliver(&Parent::Frame(Arc::clone(&f)), 5); // last child completes it
+        assert_eq!(cell.wait(), 15);
+    }
+
+    #[test]
+    fn completion_cascades_through_nested_frames() {
+        let cell = OutCell::new();
+        let top = leaf_frame(Parent::Cell(Arc::clone(&cell)), 1);
+        let mid = leaf_frame(Parent::Frame(Arc::clone(&top)), 1);
+        finish_and_deliver(&top);
+        finish_and_deliver(&mid);
+        deliver(&Parent::Frame(mid), 7); // completes mid, cascades into top
+        assert_eq!(cell.wait(), 7);
+    }
+
+    #[test]
+    fn continuation_finishing_last_completes() {
+        let cell = OutCell::new();
+        let f = leaf_frame(Parent::Cell(Arc::clone(&cell)), 1);
+        deliver(&Parent::Frame(Arc::clone(&f)), 3);
+        finish_and_deliver(&f);
+        assert_eq!(cell.wait(), 3);
+    }
+
+    #[test]
+    fn blocking_wait_wakes_from_another_thread() {
+        let cell: Arc<OutCell<u64>> = OutCell::new();
+        let c2 = Arc::clone(&cell);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                c2.deliver(9);
+            });
+            assert_eq!(cell.wait(), 9);
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! Stress and edge-case tests for the threaded runtime.
+
+use adaptivetc_core::{Config, CutoffPolicy, Expansion, Problem};
+use adaptivetc_runtime::Scheduler;
+
+/// A bushy tree with a payload that checks apply/undo pairing at every
+/// node (any workspace corruption changes the result).
+struct Checked {
+    height: u32,
+    fanout: u8,
+}
+
+impl Problem for Checked {
+    type State = Vec<u64>; // path of choice hashes
+    type Choice = u8;
+    type Out = u64;
+    fn root(&self) -> Vec<u64> {
+        Vec::new()
+    }
+    fn expand(&self, path: &Vec<u64>, depth: u32) -> Expansion<u8, u64> {
+        assert_eq!(path.len() as u32, depth, "workspace desynchronised");
+        if depth == self.height {
+            // Leaf value derives from the path so misrouted workspaces
+            // change the sum.
+            Expansion::Leaf(path.iter().fold(1u64, |a, &h| a.wrapping_mul(31).wrapping_add(h)) % 97)
+        } else {
+            Expansion::Children((0..self.fanout).collect())
+        }
+    }
+    fn apply(&self, path: &mut Vec<u64>, c: u8) {
+        path.push(u64::from(c) + 1);
+    }
+    fn undo(&self, path: &mut Vec<u64>, _c: u8) {
+        path.pop();
+    }
+    fn state_bytes(&self, path: &Vec<u64>) -> usize {
+        path.len() * 8
+    }
+}
+
+fn expected(p: &Checked) -> u64 {
+    adaptivetc_core::serial::run(p).0
+}
+
+#[test]
+fn adaptive_stress_with_aggressive_signalling() {
+    // A tiny max_stolen_num forces many special-task transitions.
+    let p = Checked {
+        height: 9,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    for seed in 0..5 {
+        let cfg = Config::new(4).max_stolen_num(1).seed(seed);
+        let (got, report) = Scheduler::AdaptiveTc.run(&p, &cfg).expect("runs");
+        assert_eq!(got, want, "seed {seed}");
+        assert_eq!(report.stats.nodes, adaptivetc_core::serial::run(&p).1.nodes);
+    }
+}
+
+#[test]
+fn cilk_stress_many_threads_small_deques() {
+    let p = Checked {
+        height: 8,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    // Capacity 2 forces constant overflow fallback; correctness must hold.
+    let cfg = Config::new(8).deque_capacity(2).seed(3);
+    let (got, report) = Scheduler::Cilk.run(&p, &cfg).expect("runs");
+    assert_eq!(got, want);
+    assert!(report.stats.deque_overflows > 0, "tiny deques must overflow");
+}
+
+#[test]
+fn adaptive_with_deep_cutoff_degenerates_to_cilk_behaviour() {
+    let p = Checked {
+        height: 7,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    let cfg = Config::new(2).cutoff(CutoffPolicy::Fixed(100));
+    let (got, report) = Scheduler::AdaptiveTc.run(&p, &cfg).expect("runs");
+    assert_eq!(got, want);
+    // Cut-off deeper than the tree: every node is a task, like Cilk.
+    assert_eq!(report.stats.tasks_created, report.stats.nodes);
+    assert_eq!(report.stats.fake_tasks, 0);
+}
+
+#[test]
+fn tascell_stress_repeated_splits() {
+    let p = Checked {
+        height: 9,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    for seed in 0..5 {
+        let cfg = Config::new(4).seed(seed);
+        let (got, _) = Scheduler::Tascell.run(&p, &cfg).expect("runs");
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn timing_instrumentation_does_not_change_results() {
+    let p = Checked {
+        height: 8,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    for s in [Scheduler::Cilk, Scheduler::Tascell, Scheduler::AdaptiveTc] {
+        let (got, report) = s.run(&p, &Config::new(2).timing(true)).expect("runs");
+        assert_eq!(got, want, "{s}");
+        // With timing on, the copy clock must tick for copying schedulers.
+        if matches!(s, Scheduler::Cilk) {
+            assert!(report.stats.time.copy_ns > 0);
+        }
+    }
+}
+
+#[test]
+fn single_node_problem() {
+    struct One;
+    impl Problem for One {
+        type State = ();
+        type Choice = u8;
+        type Out = u64;
+        fn root(&self) {}
+        fn expand(&self, _: &(), _: u32) -> Expansion<u8, u64> {
+            Expansion::Leaf(7)
+        }
+        fn apply(&self, _: &mut (), _: u8) {}
+        fn undo(&self, _: &mut (), _: u8) {}
+    }
+    for s in [
+        Scheduler::Serial,
+        Scheduler::Cilk,
+        Scheduler::Tascell,
+        Scheduler::AdaptiveTc,
+    ] {
+        let (got, _) = s.run(&One, &Config::new(4)).expect("runs");
+        assert_eq!(got, 7, "{s}");
+    }
+}
+
+#[test]
+fn dead_end_heavy_problem() {
+    // Interior nodes whose candidate lists are empty (failed backtracking
+    // branches) must reduce to the identity without hanging any scheduler.
+    struct DeadEnds;
+    impl Problem for DeadEnds {
+        type State = u32;
+        type Choice = u8;
+        type Out = u64;
+        fn root(&self) -> u32 {
+            0
+        }
+        fn expand(&self, st: &u32, depth: u32) -> Expansion<u8, u64> {
+            if depth == 6 {
+                Expansion::Leaf(1)
+            } else if st % 3 == 2 {
+                Expansion::Children(vec![]) // dead end
+            } else {
+                Expansion::Children(vec![0, 1, 2])
+            }
+        }
+        fn apply(&self, st: &mut u32, c: u8) {
+            *st = *st * 4 + u32::from(c) + 1;
+        }
+        fn undo(&self, st: &mut u32, c: u8) {
+            *st = (*st - u32::from(c) - 1) / 4;
+        }
+    }
+    let want = adaptivetc_core::serial::run(&DeadEnds).0;
+    for s in [Scheduler::Cilk, Scheduler::Tascell, Scheduler::AdaptiveTc] {
+        let (got, _) = s.run(&DeadEnds, &Config::new(3)).expect("runs");
+        assert_eq!(got, want, "{s}");
+    }
+}

@@ -1,0 +1,846 @@
+//! Virtual-time interpreter for the deque-based policies (Cilk,
+//! Cilk-SYNCHED, the two cut-off baselines, AdaptiveTC).
+//!
+//! Each virtual worker owns an explicit continuation stack whose entries
+//! mirror the threaded engine's recursion: `Node` (expand and dispatch),
+//! `Loop`/`PopCheck` (the frame spawn loop and its THE pop), `SeqLoop` (the
+//! sequence/check fake-task recursion) and `SpecialLoop`/`SpecialPop` (the
+//! special-task section). A binary heap of `(virtual time, sequence,
+//! worker)` events drives the interleaving deterministically; every costed
+//! activity advances only the acting worker's clock.
+
+use crate::cost::CostModel;
+use crate::tree::SimTree;
+use adaptivetc_core::{Config, RunReport, RunStats, XorShift64};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+
+/// Scheduling policies the simulator can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Work-first Cilk: every spawn is a task with a workspace copy.
+    Cilk,
+    /// Cilk with workspace-buffer reuse (allocation cost elided).
+    CilkSynched,
+    /// Fixed cut-off with copy-free sequential recursion below.
+    CutoffProgrammer(u32),
+    /// Runtime cut-off (`⌈log₂ N⌉`) with a workspace copy at every
+    /// sequential node.
+    CutoffLibrary,
+    /// The AdaptiveTC five-version state machine.
+    AdaptiveTc,
+    /// Tascell request-driven backtracking (its own interpreter).
+    Tascell,
+    /// Help-first Cilk (SLAW's other pole, discussed in the paper's §2):
+    /// every spawn pushes the *child* and the parent keeps running; deque
+    /// occupancy grows with breadth instead of depth.
+    HelpFirst,
+}
+
+impl Policy {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Cilk => "Cilk",
+            Policy::CilkSynched => "Cilk-SYNCHED",
+            Policy::CutoffProgrammer(_) => "Cutoff-programmer",
+            Policy::CutoffLibrary => "Cutoff-library",
+            Policy::AdaptiveTc => "AdaptiveTC",
+            Policy::Tascell => "Tascell",
+            Policy::HelpFirst => "Help-first",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Regime {
+    Fast,
+    Fast2,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqKind {
+    Plain,
+    Copy,
+    Check,
+}
+
+struct FrameMut {
+    next: usize,
+    outstanding: u32,
+    acc: u64,
+}
+
+struct Frame {
+    node: u32,
+    tdepth: u32,
+    parent: Deliver,
+    m: RefCell<FrameMut>,
+}
+
+type FrameRef = Rc<Frame>;
+
+impl Frame {
+    fn new(node: u32, tdepth: u32, parent: Deliver) -> FrameRef {
+        Rc::new(Frame {
+            node,
+            tdepth,
+            parent,
+            m: RefCell::new(FrameMut {
+                next: 0,
+                outstanding: 1,
+                acc: 0,
+            }),
+        })
+    }
+}
+
+#[derive(Clone)]
+enum Deliver {
+    /// The root result.
+    Root,
+    /// Absorb into a frame (asynchronous join).
+    Frame(FrameRef),
+    /// Add to the accumulator of the worker's current top stack entry.
+    Below,
+    /// Wake the blocked worker (special-task sync).
+    Wake(usize),
+}
+
+enum Entry {
+    Node {
+        node: u32,
+        tdepth: u32,
+        regime: Regime,
+        out: Deliver,
+    },
+    Loop {
+        frame: FrameRef,
+        regime: Regime,
+    },
+    PopCheck {
+        frame: FrameRef,
+        regime: Regime,
+    },
+    SeqLoop {
+        node: u32,
+        kid: usize,
+        acc: u64,
+        kind: SeqKind,
+        /// Task depth of `node` (meaningful for `SeqKind::Check`, whose band
+        /// is bounded by `2 * cutoff`).
+        tdepth: u32,
+        out: Deliver,
+    },
+    SpecialLoop {
+        node: u32,
+        kid: usize,
+        sframe: FrameRef,
+        out: Deliver,
+    },
+    SpecialPop {
+        sframe: FrameRef,
+    },
+}
+
+enum DqEntry {
+    Task(FrameRef),
+    Special(FrameRef),
+    /// A spawned child task (help-first policy): the node itself, not a
+    /// continuation.
+    Child {
+        node: u32,
+        tdepth: u32,
+        out: Deliver,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WState {
+    Active,
+    Waiting,
+    Done,
+}
+
+/// Outcome of processing one stack entry.
+enum Flow {
+    /// Pay a virtual cost, then schedule the next event.
+    Pay(u64),
+    /// Free bookkeeping: continue within the same event.
+    Free,
+    /// The worker blocked (special-task sync): no reschedule.
+    Block,
+}
+
+struct WorkerSim {
+    stack: Vec<Entry>,
+    deque: VecDeque<DqEntry>,
+    stolen_num: u32,
+    need_task: bool,
+    stats: RunStats,
+    rng: XorShift64,
+    state: WState,
+    /// Pending wake value for a special-task sync.
+    wake: Option<(u64, Deliver)>,
+    /// Where the blocked special sync should deliver on wake.
+    wait_out: Option<Deliver>,
+    wait_since: u64,
+    idle_since: Option<u64>,
+    epoch: u64,
+}
+
+pub(crate) struct Sim<'t> {
+    tree: &'t SimTree,
+    cost: CostModel,
+    policy: Policy,
+    cutoff: u32,
+    max_stolen: u32,
+    workers: Vec<WorkerSim>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>, // (time, seq, wid, epoch)
+    seq: u64,
+    root_value: u64,
+    root_done: Option<u64>,
+    now: u64,
+}
+
+impl<'t> Sim<'t> {
+    pub(crate) fn new(tree: &'t SimTree, cfg: &Config, cost: CostModel, policy: Policy) -> Self {
+        let mut seeder = XorShift64::new(cfg.seed);
+        let cutoff = match policy {
+            Policy::CutoffProgrammer(d) => d.max(1),
+            _ => cfg.cutoff_depth().max(1),
+        };
+        let workers = (0..cfg.threads)
+            .map(|_| WorkerSim {
+                stack: Vec::new(),
+                deque: VecDeque::new(),
+                stolen_num: 0,
+                need_task: false,
+                stats: RunStats::default(),
+                rng: seeder.split(),
+                state: WState::Active,
+                wake: None,
+                wait_out: None,
+                wait_since: 0,
+                idle_since: None,
+                epoch: 0,
+            })
+            .collect();
+        Sim {
+            tree,
+            cost,
+            policy,
+            cutoff,
+            max_stolen: cfg.max_stolen_num,
+            workers,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            root_value: 0,
+            root_done: None,
+            now: 0,
+        }
+    }
+
+    fn schedule(&mut self, wid: usize, at: u64) {
+        self.seq += 1;
+        let epoch = self.workers[wid].epoch;
+        self.heap.push(Reverse((at, self.seq, wid, epoch)));
+    }
+
+    fn task_mode(&self, tdepth: u32, regime: Regime) -> bool {
+        match self.policy {
+            Policy::Cilk | Policy::CilkSynched => true,
+            Policy::CutoffProgrammer(_) | Policy::CutoffLibrary => tdepth < self.cutoff,
+            Policy::AdaptiveTc => match regime {
+                Regime::Fast => tdepth < self.cutoff,
+                Regime::Fast2 => tdepth < self.cutoff * 2,
+            },
+            Policy::HelpFirst => true,
+            Policy::Tascell => unreachable!("Tascell runs in its own interpreter"),
+        }
+    }
+
+    /// Which sequential version a non-task node runs: the check version
+    /// recurses at every depth in the fast regime (Appendix C); the fast_2
+    /// regime falls through to the sequence version.
+    fn seq_kind(&self, regime: Regime, _tdepth: u32) -> SeqKind {
+        match self.policy {
+            Policy::CutoffProgrammer(_) => SeqKind::Plain,
+            Policy::CutoffLibrary => SeqKind::Copy,
+            Policy::AdaptiveTc => match regime {
+                Regime::Fast => SeqKind::Check,
+                Regime::Fast2 => SeqKind::Plain,
+            },
+            _ => unreachable!("Cilk-style policies never leave task mode"),
+        }
+    }
+
+    /// The paper's workspace copy, charged and recorded.
+    fn charge_copy(&mut self, wid: usize, bytes: u64) -> u64 {
+        let alloc = self.policy != Policy::CilkSynched;
+        let ns = self.cost.copy_ns(bytes, alloc);
+        let st = &mut self.workers[wid].stats;
+        st.copies += 1;
+        st.copy_bytes += bytes;
+        if alloc {
+            st.allocations += 1;
+        }
+        st.time.copy_ns += ns;
+        ns
+    }
+
+    fn deliver(&mut self, out: Deliver, value: u64, wid: usize) {
+        let mut out = out;
+        let mut value = value;
+        loop {
+            match out {
+                Deliver::Root => {
+                    self.root_value = value;
+                    self.root_done = Some(self.now);
+                    return;
+                }
+                Deliver::Below => {
+                    match self.workers[wid]
+                        .stack
+                        .last_mut()
+                        .expect("Below requires an enclosing sequential entry")
+                    {
+                        Entry::SeqLoop { acc, .. } => *acc += value,
+                        _ => unreachable!("Below delivers into a SeqLoop"),
+                    }
+                    return;
+                }
+                Deliver::Wake(target) => {
+                    let at = self.now;
+                    let w = &mut self.workers[target];
+                    debug_assert_eq!(w.state, WState::Waiting);
+                    let final_out = w.wait_out.take().expect("waiter stored its out");
+                    w.wake = Some((value, final_out));
+                    w.state = WState::Active;
+                    w.epoch += 1;
+                    self.schedule(target, at);
+                    return;
+                }
+                Deliver::Frame(f) => {
+                    let completed = {
+                        let mut m = f.m.borrow_mut();
+                        m.acc += value;
+                        m.outstanding -= 1;
+                        (m.outstanding == 0).then_some(m.acc)
+                    };
+                    match completed {
+                        Some(v) => {
+                            value = v;
+                            out = f.parent.clone();
+                        }
+                        None => return,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one costed step for a worker; returns the cost, or `None` if
+    /// the worker blocked or finished (no reschedule).
+    fn step(&mut self, wid: usize) -> Option<u64> {
+        // A pending special-task wake is consumed first.
+        if let Some((value, out)) = self.workers[wid].wake.take() {
+            let waited = self.now - self.workers[wid].wait_since;
+            self.workers[wid].stats.time.wait_children_ns += waited;
+            self.deliver(out, value, wid);
+        }
+        loop {
+            let Some(entry) = self.workers[wid].stack.pop() else {
+                return self.steal_step(wid);
+            };
+            match self.exec(wid, entry) {
+                Flow::Pay(cost) => return Some(cost),
+                Flow::Free => {} // zero-cost bookkeeping: keep going
+                Flow::Block => return None,
+            }
+        }
+    }
+
+    /// Process one stack entry.
+    fn exec(&mut self, wid: usize, entry: Entry) -> Flow {
+        match entry {
+            Entry::Node {
+                node,
+                tdepth,
+                regime,
+                out,
+            } => {
+                let mut cost = self.cost.work_ns(self.tree.work(node));
+                self.workers[wid].stats.nodes += 1;
+                self.workers[wid].stats.time.busy_ns += cost;
+                if self.tree.is_leaf(node) {
+                    self.deliver(out, 1, wid);
+                    return Flow::Pay(cost);
+                }
+                if self.task_mode(tdepth, regime) {
+                    let frame = Frame::new(node, tdepth, out);
+                    self.workers[wid].stack.push(Entry::Loop { frame, regime });
+                    return Flow::Pay(cost);
+                }
+                match self.seq_kind(regime, tdepth) {
+                    SeqKind::Check => {
+                        cost += self.poll(wid);
+                        if self.take_need_task(wid) {
+                            cost += self.start_special(wid, node, out);
+                        } else {
+                            self.workers[wid].stats.fake_tasks += 1;
+                            self.workers[wid].stack.push(Entry::SeqLoop {
+                                node,
+                                kid: 0,
+                                acc: 0,
+                                kind: SeqKind::Check,
+                                tdepth,
+                                out,
+                            });
+                        }
+                    }
+                    kind => {
+                        self.workers[wid].stats.fake_tasks += 1;
+                        self.workers[wid].stack.push(Entry::SeqLoop {
+                            node,
+                            kid: 0,
+                            acc: 0,
+                            kind,
+                            tdepth,
+                            out,
+                        });
+                    }
+                }
+                Flow::Pay(cost)
+            }
+
+            Entry::SeqLoop {
+                node,
+                kid,
+                acc,
+                kind,
+                tdepth,
+                out,
+            } => {
+                let kids = self.tree.children(node);
+                if kid >= kids.len() {
+                    self.deliver(out, acc, wid);
+                    return Flow::Free;
+                }
+                let child = kids[kid];
+                self.workers[wid].stack.push(Entry::SeqLoop {
+                    node,
+                    kid: kid + 1,
+                    acc,
+                    kind,
+                    tdepth,
+                    out,
+                });
+                let mut cost = self.cost.work_ns(self.tree.work(child));
+                self.workers[wid].stats.nodes += 1;
+                self.workers[wid].stats.time.busy_ns += cost;
+                if kind == SeqKind::Copy {
+                    cost += self.charge_copy(wid, self.tree.bytes(node));
+                }
+                if self.tree.is_leaf(child) {
+                    self.deliver(Deliver::Below, 1, wid);
+                    return Flow::Pay(cost);
+                }
+                let child_kind = kind;
+                match child_kind {
+                    SeqKind::Check => {
+                        cost += self.poll(wid);
+                        if self.take_need_task(wid) {
+                            cost += self.start_special(wid, child, Deliver::Below);
+                        } else {
+                            self.workers[wid].stats.fake_tasks += 1;
+                            self.workers[wid].stack.push(Entry::SeqLoop {
+                                node: child,
+                                kid: 0,
+                                acc: 0,
+                                kind: child_kind,
+                                tdepth: tdepth + 1,
+                                out: Deliver::Below,
+                            });
+                        }
+                    }
+                    _ => {
+                        self.workers[wid].stats.fake_tasks += 1;
+                        self.workers[wid].stack.push(Entry::SeqLoop {
+                            node: child,
+                            kid: 0,
+                            acc: 0,
+                            kind: child_kind,
+                            tdepth: tdepth + 1,
+                            out: Deliver::Below,
+                        });
+                    }
+                }
+                Flow::Pay(cost)
+            }
+
+            Entry::Loop { frame, regime } => {
+                let kids = self.tree.children(frame.node);
+                let next = {
+                    let mut m = frame.m.borrow_mut();
+                    if m.next < kids.len() {
+                        let child = kids[m.next];
+                        m.next += 1;
+                        m.outstanding += 1;
+                        // The continuation after the last spawn holds
+                        // nothing stealable: elide its deque entry (dead
+                        // continuations would otherwise satisfy thieves
+                        // without feeding them).
+                        Some((child, m.next < kids.len()))
+                    } else {
+                        None
+                    }
+                };
+                match next {
+                    Some((child, stealable)) => {
+                        let mut cost = self.cost.task_create_ns;
+                        {
+                            let st = &mut self.workers[wid].stats;
+                            st.tasks_created += 1;
+                            st.time.deque_ns += self.cost.task_create_ns;
+                        }
+                        cost += self.charge_copy(wid, self.tree.bytes(frame.node));
+                        let tdepth = frame.tdepth + 1;
+                        let parent = Deliver::Frame(Rc::clone(&frame));
+                        if self.policy == Policy::HelpFirst {
+                            // Help-first: enqueue the child, keep running the
+                            // parent's loop.
+                            cost += self.cost.deque_op_ns;
+                            let w = &mut self.workers[wid];
+                            w.stats.deque_pushes += 1;
+                            w.stats.time.deque_ns += self.cost.deque_op_ns;
+                            w.deque.push_back(DqEntry::Child {
+                                node: child,
+                                tdepth,
+                                out: parent,
+                            });
+                            w.stats.deque_peak = w.stats.deque_peak.max(w.deque.len() as u64);
+                            w.stack.push(Entry::Loop { frame, regime });
+                            return Flow::Pay(cost);
+                        }
+                        let w = &mut self.workers[wid];
+                        if stealable {
+                            cost += self.cost.deque_op_ns;
+                            w.stats.deque_pushes += 1;
+                            w.stats.time.deque_ns += self.cost.deque_op_ns;
+                            w.deque.push_back(DqEntry::Task(Rc::clone(&frame)));
+                            w.stats.deque_peak = w.stats.deque_peak.max(w.deque.len() as u64);
+                            w.stack.push(Entry::PopCheck { frame, regime });
+                        } else {
+                            // No entry to pop; re-enter the loop directly so
+                            // the continuation still reaches its sync.
+                            w.stack.push(Entry::Loop {
+                                frame: Rc::clone(&frame),
+                                regime,
+                            });
+                        }
+                        w.stack.push(Entry::Node {
+                            node: child,
+                            tdepth,
+                            regime,
+                            out: parent,
+                        });
+                        Flow::Pay(cost)
+                    }
+                    None => {
+                        let completed = {
+                            let mut m = frame.m.borrow_mut();
+                            m.outstanding -= 1;
+                            (m.outstanding == 0).then_some(m.acc)
+                        };
+                        if let Some(v) = completed {
+                            self.deliver(frame.parent.clone(), v, wid);
+                        } else {
+                            self.workers[wid].stats.suspensions += 1;
+                        }
+                        Flow::Free
+                    }
+                }
+            }
+
+            Entry::PopCheck { frame, regime } => {
+                let cost = self.cost.deque_op_ns;
+                self.workers[wid].stats.time.deque_ns += cost;
+                let retained = matches!(
+                    self.workers[wid].deque.back(),
+                    Some(DqEntry::Task(f)) if Rc::ptr_eq(f, &frame)
+                );
+                if retained {
+                    self.workers[wid].deque.pop_back();
+                    self.workers[wid].stats.deque_pops += 1;
+                    self.workers[wid].stack.push(Entry::Loop { frame, regime });
+                } else {
+                    self.workers[wid].stats.pop_conflicts += 1;
+                }
+                Flow::Pay(cost)
+            }
+
+            Entry::SpecialLoop {
+                node,
+                kid,
+                sframe,
+                out,
+            } => {
+                let kids = self.tree.children(node);
+                if kid < kids.len() {
+                    let child = kids[kid];
+                    self.workers[wid].stack.push(Entry::SpecialLoop {
+                        node,
+                        kid: kid + 1,
+                        sframe: Rc::clone(&sframe),
+                        out,
+                    });
+                    sframe.m.borrow_mut().outstanding += 1;
+                    let mut cost = self.cost.task_create_ns + 2 * self.cost.deque_op_ns;
+                    {
+                        let st = &mut self.workers[wid].stats;
+                        st.tasks_created += 1;
+                        st.deque_pushes += 1;
+                        st.time.deque_ns += cost;
+                    }
+                    cost += self.charge_copy(wid, self.tree.bytes(node));
+                    let w = &mut self.workers[wid];
+                    w.deque.push_back(DqEntry::Special(Rc::clone(&sframe)));
+                    w.stats.deque_peak = w.stats.deque_peak.max(w.deque.len() as u64);
+                    w.stack.push(Entry::SpecialPop {
+                        sframe: Rc::clone(&sframe),
+                    });
+                    w.stack.push(Entry::Node {
+                        node: child,
+                        tdepth: 0,
+                        regime: Regime::Fast2,
+                        out: Deliver::Frame(sframe),
+                    });
+                    Flow::Pay(cost)
+                } else {
+                    // sync_specialtask.
+                    let completed = {
+                        let mut m = sframe.m.borrow_mut();
+                        m.outstanding -= 1;
+                        (m.outstanding == 0).then_some(m.acc)
+                    };
+                    match completed {
+                        Some(v) => {
+                            self.deliver(out, v, wid);
+                            Flow::Free
+                        }
+                        None => {
+                            let w = &mut self.workers[wid];
+                            w.stats.suspensions += 1;
+                            w.state = WState::Waiting;
+                            w.wait_out = Some(out);
+                            w.wait_since = self.now;
+                            w.epoch += 1;
+                            Flow::Block
+                        }
+                    }
+                }
+            }
+
+            Entry::SpecialPop { sframe } => {
+                let cost = self.cost.deque_op_ns;
+                self.workers[wid].stats.time.deque_ns += cost;
+                let reclaimed = matches!(
+                    self.workers[wid].deque.back(),
+                    Some(DqEntry::Special(f)) if Rc::ptr_eq(f, &sframe)
+                );
+                if reclaimed {
+                    self.workers[wid].deque.pop_back();
+                    self.workers[wid].stats.deque_pops += 1;
+                } else {
+                    self.workers[wid].stats.pop_conflicts += 1;
+                }
+                Flow::Pay(cost)
+            }
+        }
+    }
+
+    fn poll(&mut self, wid: usize) -> u64 {
+        let w = &mut self.workers[wid];
+        w.stats.polls += 1;
+        w.stats.time.poll_ns += self.cost.poll_ns;
+        self.cost.poll_ns
+    }
+
+    fn take_need_task(&mut self, wid: usize) -> bool {
+        let w = &mut self.workers[wid];
+        if w.need_task {
+            w.need_task = false;
+            w.stolen_num = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn start_special(&mut self, wid: usize, node: u32, out: Deliver) -> u64 {
+        self.workers[wid].stats.special_tasks += 1;
+        let sframe = Frame::new(node, 0, Deliver::Wake(wid));
+        self.workers[wid].stack.push(Entry::SpecialLoop {
+            node,
+            kid: 0,
+            sframe,
+            out,
+        });
+        self.cost.task_create_ns
+    }
+
+    /// One steal attempt (the worker's stack is empty).
+    fn steal_step(&mut self, wid: usize) -> Option<u64> {
+        // Help-first: pending local children run before any stealing.
+        if let Some(DqEntry::Child { .. }) = self.workers[wid].deque.back() {
+            if let Some(DqEntry::Child { node, tdepth, out }) =
+                self.workers[wid].deque.pop_back()
+            {
+                let w = &mut self.workers[wid];
+                w.stats.deque_pops += 1;
+                w.stack.push(Entry::Node {
+                    node,
+                    tdepth,
+                    regime: Regime::Fast,
+                    out,
+                });
+                return Some(self.cost.deque_op_ns);
+            }
+        }
+        if self.root_done.is_some() {
+            self.finish_idle(wid);
+            self.workers[wid].state = WState::Done;
+            return None;
+        }
+        if self.workers[wid].idle_since.is_none() {
+            self.workers[wid].idle_since = Some(self.now);
+        }
+        let n = self.workers.len();
+        if n == 1 {
+            // Nothing to steal from; spin until done.
+            return Some(self.cost.steal_backoff_ns);
+        }
+        let victim = {
+            let w = &mut self.workers[wid];
+            let mut v = w.rng.below_usize(n - 1);
+            if v >= wid {
+                v += 1;
+            }
+            v
+        };
+        enum Booty {
+            Frame(FrameRef),
+            Child { node: u32, tdepth: u32, out: Deliver },
+        }
+        let stolen: Option<Booty> = {
+            let vd = &mut self.workers[victim].deque;
+            match vd.front() {
+                Some(DqEntry::Task(_)) => match vd.pop_front() {
+                    Some(DqEntry::Task(f)) => Some(Booty::Frame(f)),
+                    _ => unreachable!("just matched"),
+                },
+                Some(DqEntry::Child { .. }) => match vd.pop_front() {
+                    Some(DqEntry::Child { node, tdepth, out }) => {
+                        Some(Booty::Child { node, tdepth, out })
+                    }
+                    _ => unreachable!("just matched"),
+                },
+                Some(DqEntry::Special(_)) => match vd.get(1) {
+                    Some(DqEntry::Task(_)) => {
+                        // steal_specialtask: retire the special, take its
+                        // child.
+                        vd.pop_front();
+                        match vd.pop_front() {
+                            Some(DqEntry::Task(f)) => Some(Booty::Frame(f)),
+                            _ => unreachable!("just matched"),
+                        }
+                    }
+                    _ => None,
+                },
+                None => None,
+            }
+        };
+        match stolen {
+            Some(booty) => {
+                {
+                    let v = &mut self.workers[victim];
+                    v.stolen_num = 0;
+                    v.need_task = false;
+                }
+                let w = &mut self.workers[wid];
+                w.stats.steals_ok += 1;
+                match booty {
+                    // The slow version resumes under fast/check rules.
+                    Booty::Frame(frame) => w.stack.push(Entry::Loop {
+                        frame,
+                        regime: Regime::Fast,
+                    }),
+                    Booty::Child { node, tdepth, out } => w.stack.push(Entry::Node {
+                        node,
+                        tdepth,
+                        regime: Regime::Fast,
+                        out,
+                    }),
+                }
+                let cost = self.cost.steal_ns;
+                self.finish_idle_at(wid, self.now + cost);
+                Some(cost)
+            }
+            None => {
+                {
+                    let v = &mut self.workers[victim];
+                    v.stolen_num += 1;
+                    if v.stolen_num > self.max_stolen {
+                        v.need_task = true;
+                    }
+                }
+                self.workers[wid].stats.steals_failed += 1;
+                Some(self.cost.steal_ns + self.cost.steal_backoff_ns)
+            }
+        }
+    }
+
+    fn finish_idle(&mut self, wid: usize) {
+        self.finish_idle_at(wid, self.now);
+    }
+
+    fn finish_idle_at(&mut self, wid: usize, end: u64) {
+        let w = &mut self.workers[wid];
+        if let Some(since) = w.idle_since.take() {
+            w.stats.time.steal_wait_ns += end.saturating_sub(since);
+        }
+    }
+
+    /// Run to completion, returning the leaf count and the report.
+    pub(crate) fn run(mut self) -> (u64, RunReport) {
+        self.workers[0].stack.push(Entry::Node {
+            node: 0,
+            tdepth: 0,
+            regime: Regime::Fast,
+            out: Deliver::Root,
+        });
+        self.workers[0].stats.tasks_created += 1; // the root task
+        let n = self.workers.len();
+        for wid in 0..n {
+            self.schedule(wid, 0);
+        }
+        while let Some(Reverse((t, _, wid, epoch))) = self.heap.pop() {
+            if self.workers[wid].epoch != epoch
+                || self.workers[wid].state != WState::Active
+            {
+                continue; // stale event
+            }
+            self.now = t;
+            if let Some(cost) = self.step(wid) {
+                let at = t + cost.max(1);
+                self.schedule(wid, at);
+            }
+        }
+        let wall = self.root_done.expect("simulation must complete the root");
+        let per_worker: Vec<RunStats> = self.workers.into_iter().map(|w| w.stats).collect();
+        (self.root_value, RunReport::from_workers(per_worker, wall))
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's `Comp(n)` benchmark: compare `a[i]` and `b[j]` for all
+//! `0 <= i, j < n` by divide and conquer.
+//!
+//! Like `Fib`, `Comp` has no taskprivate workspace; its state is a `Copy`
+//! rectangle of index ranges. The result is the number of equal pairs.
+
+use adaptivetc_core::{Expansion, Problem, XorShift64};
+use std::sync::Arc;
+
+/// An index rectangle `[i0, i1) × [j0, j1)` over the two arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    i0: u32,
+    i1: u32,
+    j0: u32,
+    j1: u32,
+}
+
+/// A half-split choice. Carries the replaced boundary so `undo` can restore
+/// it exactly (a half-split is not invertible from the half alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Split {
+    /// `false`: split the `i` axis; `true`: the `j` axis.
+    j_axis: bool,
+    /// `false`: keep the low half; `true`: keep the high half.
+    hi: bool,
+    /// The boundary value this split overwrites.
+    saved: u32,
+}
+
+/// All-pairs comparison of two arrays, split recursively along the longer
+/// dimension until at most `leaf` rows and columns remain.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::serial;
+/// use adaptivetc_workloads::comp::Comp;
+///
+/// let p = Comp::from_arrays(vec![1, 2, 3], vec![3, 2, 9]);
+/// let (equal_pairs, _) = serial::run(&p);
+/// assert_eq!(equal_pairs, 2); // (2,2) and (3,3)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Comp {
+    a: Arc<Vec<i32>>,
+    b: Arc<Vec<i32>>,
+    leaf: u32,
+}
+
+impl Comp {
+    /// The paper's instance: two pseudo-random arrays of length `n` drawn
+    /// from a small value range so some pairs match.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let a = (0..n).map(|_| (rng.below(997)) as i32).collect();
+        let b = (0..n).map(|_| (rng.below(997)) as i32).collect();
+        Comp::from_arrays(a, b)
+    }
+
+    /// Build from explicit arrays.
+    pub fn from_arrays(a: Vec<i32>, b: Vec<i32>) -> Self {
+        Comp {
+            a: Arc::new(a),
+            b: Arc::new(b),
+            leaf: 8,
+        }
+    }
+
+    /// Set the leaf rectangle side (default 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf == 0`.
+    pub fn leaf_size(mut self, leaf: u32) -> Self {
+        assert!(leaf >= 1, "leaf size must be at least 1");
+        self.leaf = leaf;
+        self
+    }
+
+    /// Direct O(n²) check value.
+    pub fn expected(&self) -> u64 {
+        let mut count = 0;
+        for &x in self.a.iter() {
+            for &y in self.b.iter() {
+                if x == y {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+impl Problem for Comp {
+    type State = Rect;
+    type Choice = Split;
+    type Out = u64;
+
+    fn root(&self) -> Rect {
+        Rect {
+            i0: 0,
+            i1: self.a.len() as u32,
+            j0: 0,
+            j1: self.b.len() as u32,
+        }
+    }
+
+    fn expand(&self, r: &Rect, _depth: u32) -> Expansion<Split, u64> {
+        let rows = r.i1 - r.i0;
+        let cols = r.j1 - r.j0;
+        if rows == 0 || cols == 0 {
+            return Expansion::Leaf(0);
+        }
+        if rows <= self.leaf && cols <= self.leaf {
+            let mut count = 0;
+            for i in r.i0..r.i1 {
+                for j in r.j0..r.j1 {
+                    if self.a[i as usize] == self.b[j as usize] {
+                        count += 1;
+                    }
+                }
+            }
+            return Expansion::Leaf(count);
+        }
+        let j_axis = cols > rows;
+        let saved_lo = if j_axis { r.j1 } else { r.i1 };
+        let saved_hi = if j_axis { r.j0 } else { r.i0 };
+        Expansion::Children(vec![
+            Split {
+                j_axis,
+                hi: false,
+                saved: saved_lo,
+            },
+            Split {
+                j_axis,
+                hi: true,
+                saved: saved_hi,
+            },
+        ])
+    }
+
+    fn apply(&self, r: &mut Rect, c: Split) {
+        match (c.j_axis, c.hi) {
+            (false, false) => r.i1 = r.i0 + (r.i1 - r.i0) / 2,
+            (false, true) => r.i0 += (r.i1 - r.i0) / 2,
+            (true, false) => r.j1 = r.j0 + (r.j1 - r.j0) / 2,
+            (true, true) => r.j0 += (r.j1 - r.j0) / 2,
+        }
+    }
+
+    fn undo(&self, r: &mut Rect, c: Split) {
+        match (c.j_axis, c.hi) {
+            (false, false) => r.i1 = c.saved,
+            (false, true) => r.i0 = c.saved,
+            (true, false) => r.j1 = c.saved,
+            (true, true) => r.j0 = c.saved,
+        }
+    }
+
+    /// `Comp` has no taskprivate workspace.
+    fn state_bytes(&self, _: &Rect) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::serial;
+
+    #[test]
+    fn matches_direct_count() {
+        let p = Comp::new(100, 7);
+        let (got, _) = serial::run(&p);
+        assert_eq!(got, p.expected());
+    }
+
+    #[test]
+    fn handles_unequal_lengths() {
+        let p = Comp::from_arrays(vec![5; 13], vec![5; 29]);
+        let (got, _) = serial::run(&p);
+        assert_eq!(got, 13 * 29);
+    }
+
+    #[test]
+    fn leaf_size_changes_tree_not_result() {
+        let coarse = Comp::new(64, 3).leaf_size(16);
+        let fine = Comp::new(64, 3).leaf_size(1);
+        let (a, ra) = serial::run(&coarse);
+        let (b, rb) = serial::run(&fine);
+        assert_eq!(a, b);
+        assert!(rb.nodes > ra.nodes);
+    }
+
+    #[test]
+    fn apply_undo_roundtrip() {
+        let p = Comp::new(32, 1);
+        let mut r = p.root();
+        let orig = r;
+        if let Expansion::Children(cs) = p.expand(&r, 0) {
+            for c in cs {
+                p.apply(&mut r, c);
+                p.undo(&mut r, c);
+                assert_eq!(r, orig);
+            }
+        } else {
+            panic!("root must split");
+        }
+    }
+
+    #[test]
+    fn empty_arrays_yield_zero() {
+        let p = Comp::from_arrays(vec![], vec![1, 2]);
+        let (got, _) = serial::run(&p);
+        assert_eq!(got, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's `Fib(n)` benchmark: naive recursive Fibonacci.
+//!
+//! `Fib` has no taskprivate variables and almost no per-node computation, so
+//! it maximises the relative weight of task creation and d-e-que management
+//! — the one benchmark where Tascell beats AdaptiveTC in the paper (its
+//! nested-function overhead is only 1.4 % of execution time there, versus
+//! 51.7 % for task/d-e-que management in AdaptiveTC).
+
+use adaptivetc_core::{Expansion, Problem};
+
+/// Recursive Fibonacci as a search tree: `fib(n)` equals the number of
+/// leaves that evaluate to 1.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::serial;
+/// use adaptivetc_workloads::fib::Fib;
+///
+/// let (fib10, _) = serial::run(&Fib::new(10));
+/// assert_eq!(fib10, 55);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fib {
+    n: u32,
+}
+
+impl Fib {
+    /// The benchmark instance for argument `n`.
+    pub fn new(n: u32) -> Self {
+        Fib { n }
+    }
+
+    /// The argument.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Closed-form check value (iterative).
+    pub fn expected(&self) -> u64 {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..self.n {
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        a
+    }
+}
+
+impl Problem for Fib {
+    type State = u32;
+    type Choice = u32;
+    type Out = u64;
+
+    fn root(&self) -> u32 {
+        self.n
+    }
+
+    fn expand(&self, n: &u32, _depth: u32) -> Expansion<u32, u64> {
+        if *n < 2 {
+            Expansion::Leaf(u64::from(*n))
+        } else {
+            Expansion::Children(vec![1, 2])
+        }
+    }
+
+    fn apply(&self, n: &mut u32, d: u32) {
+        *n -= d;
+    }
+
+    fn undo(&self, n: &mut u32, d: u32) {
+        *n += d;
+    }
+
+    /// `Fib` has no taskprivate workspace.
+    fn state_bytes(&self, _: &u32) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::serial;
+
+    #[test]
+    fn small_values() {
+        for (n, expect) in [(0, 0), (1, 1), (2, 1), (3, 2), (10, 55), (20, 6765)] {
+            let (got, _) = serial::run(&Fib::new(n));
+            assert_eq!(got, expect, "fib({n})");
+        }
+    }
+
+    #[test]
+    fn expected_matches_recursion() {
+        for n in 0..25 {
+            let p = Fib::new(n);
+            let (got, _) = serial::run(&p);
+            assert_eq!(got, p.expected());
+        }
+    }
+
+    #[test]
+    fn node_count_is_2fib_minus_1() {
+        // The fib(n) call tree has 2·fib(n+1) − 1 nodes.
+        let p = Fib::new(15);
+        let (_, r) = serial::run(&p);
+        assert_eq!(r.nodes, 2 * Fib::new(16).expected() - 1);
+    }
+
+    #[test]
+    fn reports_no_taskprivate_bytes() {
+        let p = Fib::new(5);
+        assert_eq!(p.state_bytes(&5), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The Knight's Tour benchmark: count all open tours visiting every square
+//! of an `n × n` board exactly once, moving by chess knight rules.
+//!
+//! The paper uses 6×6 from a fixed start; the instance here is configurable
+//! (board side up to 8, any starting square). The taskprivate workspace is
+//! the visited-set plus the knight's square.
+
+use adaptivetc_core::{Expansion, Problem};
+
+/// The knight's workspace: visited squares and current position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TourState {
+    visited: u64,
+    pos: u8,
+}
+
+/// A knight move; carries the origin so it can be undone exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    from: u8,
+    to: u8,
+}
+
+const DELTAS: [(i8, i8); 8] = [
+    (1, 2),
+    (2, 1),
+    (2, -1),
+    (1, -2),
+    (-1, -2),
+    (-2, -1),
+    (-2, 1),
+    (-1, 2),
+];
+
+/// Count all open knight's tours on an `n × n` board from a fixed start.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::serial;
+/// use adaptivetc_workloads::knights::KnightsTour;
+///
+/// // No full tour of a 4×4 board exists.
+/// let (tours, _) = serial::run(&KnightsTour::new(4, 0, 0));
+/// assert_eq!(tours, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnightsTour {
+    n: u8,
+    start: u8,
+}
+
+impl KnightsTour {
+    /// An `n × n` board starting at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` (the visited mask is 64 bits) or the start square
+    /// is off the board.
+    pub fn new(n: u8, row: u8, col: u8) -> Self {
+        assert!((1..=8).contains(&n), "board side must be in 1..=8");
+        assert!(row < n && col < n, "start square off the board");
+        KnightsTour {
+            n,
+            start: row * n + col,
+        }
+    }
+
+    /// Board side.
+    pub fn n(&self) -> u8 {
+        self.n
+    }
+
+    fn squares(&self) -> u32 {
+        u32::from(self.n) * u32::from(self.n)
+    }
+}
+
+impl Problem for KnightsTour {
+    type State = TourState;
+    type Choice = Hop;
+    type Out = u64;
+
+    fn root(&self) -> TourState {
+        TourState {
+            visited: 1u64 << self.start,
+            pos: self.start,
+        }
+    }
+
+    fn expand(&self, st: &TourState, _depth: u32) -> Expansion<Hop, u64> {
+        if st.visited.count_ones() == self.squares() {
+            return Expansion::Leaf(1);
+        }
+        let n = i8::try_from(self.n).expect("n <= 8");
+        let (r, c) = ((st.pos / self.n) as i8, (st.pos % self.n) as i8);
+        let moves: Vec<Hop> = DELTAS
+            .iter()
+            .filter_map(|&(dr, dc)| {
+                let (nr, nc) = (r + dr, c + dc);
+                if nr < 0 || nc < 0 || nr >= n || nc >= n {
+                    return None;
+                }
+                let to = (nr as u8) * self.n + nc as u8;
+                (st.visited & (1 << to) == 0).then_some(Hop { from: st.pos, to })
+            })
+            .collect();
+        Expansion::Children(moves)
+    }
+
+    fn apply(&self, st: &mut TourState, m: Hop) {
+        st.visited |= 1 << m.to;
+        st.pos = m.to;
+    }
+
+    fn undo(&self, st: &mut TourState, m: Hop) {
+        st.visited &= !(1 << m.to);
+        st.pos = m.from;
+    }
+
+    fn state_bytes(&self, _: &TourState) -> usize {
+        // The paper's implementation keeps an n×n board array.
+        usize::from(self.n) * usize::from(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::serial;
+
+    #[test]
+    fn trivial_board() {
+        let (tours, _) = serial::run(&KnightsTour::new(1, 0, 0));
+        assert_eq!(tours, 1); // the knight is already everywhere
+    }
+
+    #[test]
+    fn small_boards_have_no_tours() {
+        for n in [2, 3, 4] {
+            let (tours, _) = serial::run(&KnightsTour::new(n, 0, 0));
+            assert_eq!(tours, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn five_by_five_corner_count() {
+        // Open tours on 5×5 from a corner: 304 (of 1728 total directed
+        // tours; tours exist only from squares of the majority colour).
+        let (tours, _) = serial::run(&KnightsTour::new(5, 0, 0));
+        assert_eq!(tours, 304);
+    }
+
+    #[test]
+    fn five_by_five_center_is_minority_colour() {
+        // (0,1) is a minority-colour square on 5×5: no tour can start there.
+        let (tours, _) = serial::run(&KnightsTour::new(5, 0, 1));
+        assert_eq!(tours, 0);
+    }
+
+    #[test]
+    fn apply_undo_roundtrip() {
+        let p = KnightsTour::new(6, 2, 3);
+        let mut st = p.root();
+        let orig = st;
+        if let Expansion::Children(cs) = p.expand(&st, 0) {
+            assert!(!cs.is_empty());
+            for m in cs {
+                p.apply(&mut st, m);
+                p.undo(&mut st, m);
+                assert_eq!(st, orig);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "board side")]
+    fn oversized_board_rejected() {
+        KnightsTour::new(9, 0, 0);
+    }
+}

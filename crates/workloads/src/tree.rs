@@ -1,0 +1,372 @@
+//! Synthetic unbalanced search trees (Table 3, Figures 8 and 10).
+//!
+//! The paper generates reproducible unbalanced trees with a linear
+//! congruential sequence `x_i = (x_{i-1}·A + C) mod M`, localising `x_i` in
+//! each node to derive the sizes of its subtrees; given the tree size and
+//! the initial seed, the same tree is generated on every execution. This
+//! module implements that construction with two refinements used by the
+//! harness:
+//!
+//! * the depth-1 split can be pinned to the exact percentage lists of
+//!   Table 3 (`Tree1`–`Tree3`) or Figure 8 (`input1`);
+//! * a `skew` exponent shapes the LCG splits below depth 1 (larger = more
+//!   mass on one child, deeper tree);
+//! * [`UnbalancedTree::reversed`] mirrors child order everywhere, producing
+//!   the right-heavy `Tree*R` variants from the left-heavy `Tree*L` ones.
+//!
+//! Node budgets are *exact*: a tree built with `total` nodes has exactly
+//! `total` nodes ([`adaptivetc_core::treeinfo::TreeInfo`] verifies this),
+//! scaled down from the paper's 1.9-billion-node instances.
+
+use adaptivetc_core::{Expansion, Problem};
+
+/// LCG constants (Numerical Recipes).
+const LCG_A: u64 = 1_664_525;
+const LCG_C: u64 = 1_013_904_223;
+
+#[inline]
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(LCG_A).wrapping_add(LCG_C)
+}
+
+/// Per-node parameters: how many nodes its subtree contains and the node's
+/// localised random value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeParams {
+    budget: u64,
+    seed: u64,
+}
+
+/// A reproducible unbalanced tree defined by total size, branching factor,
+/// skew, and an optional pinned depth-1 split.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::treeinfo::TreeInfo;
+/// use adaptivetc_workloads::tree::UnbalancedTree;
+///
+/// let t = UnbalancedTree::new(10_000, 42).skew(3.0);
+/// let info = TreeInfo::measure(&t);
+/// assert_eq!(info.size, 10_000); // budgets are exact
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnbalancedTree {
+    total: u64,
+    seed: u64,
+    branching: usize,
+    skew: f64,
+    depth1_percent: Option<Vec<f64>>,
+    reversed: bool,
+    work: u64,
+}
+
+impl UnbalancedTree {
+    /// A tree with `total` nodes grown from `seed` (branching 7, mild skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(total: u64, seed: u64) -> Self {
+        assert!(total > 0, "a tree has at least its root");
+        UnbalancedTree {
+            total,
+            seed,
+            branching: 7,
+            skew: 2.0,
+            depth1_percent: None,
+            reversed: false,
+            work: 1,
+        }
+    }
+
+    /// Set the maximum branching factor (default 7, as in Table 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branching == 0`.
+    pub fn branching(mut self, branching: usize) -> Self {
+        assert!(branching > 0, "branching factor must be nonzero");
+        self.branching = branching;
+        self
+    }
+
+    /// Set the skew exponent for LCG splits (≥ 1.0; larger = more
+    /// unbalanced).
+    pub fn skew(mut self, skew: f64) -> Self {
+        self.skew = skew.max(1.0);
+        self
+    }
+
+    /// Pin the depth-1 subtree percentages (e.g. a Table 3 row). Values are
+    /// renormalised over the non-root mass.
+    pub fn depth1(mut self, percent: Vec<f64>) -> Self {
+        assert!(!percent.is_empty(), "depth-1 split needs at least one share");
+        self.depth1_percent = Some(percent);
+        self
+    }
+
+    /// Mirror child order everywhere (`Tree*L` → `Tree*R`).
+    pub fn reversed(mut self) -> Self {
+        self.reversed = !self.reversed;
+        self
+    }
+
+    /// Set the per-node busy-work units (spun on the real runtime, charged
+    /// by the simulator's cost model).
+    pub fn work(mut self, work: u64) -> Self {
+        self.work = work.max(1);
+        self
+    }
+
+    /// Total node count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Table 3 `Tree1L`: moderately left-heavy.
+    pub fn tree1(total: u64) -> Self {
+        UnbalancedTree::new(total, 0x7111)
+            .skew(2.0)
+            .depth1(vec![42.512, 25.362, 13.019, 4.936, 0.416, 11.771, 1.984])
+    }
+
+    /// Table 3 `Tree2L`: strongly left-heavy.
+    pub fn tree2(total: u64) -> Self {
+        UnbalancedTree::new(total, 0x7222)
+            .skew(4.0)
+            .depth1(vec![74.492, 20.791, 1.106, 2.732, 0.637, 0.049, 0.193])
+    }
+
+    /// Table 3 `Tree3L`: the most unbalanced of the three.
+    pub fn tree3(total: u64) -> Self {
+        UnbalancedTree::new(total, 0x7333)
+            .skew(6.0)
+            .depth1(vec![89.675, 6.891, 1.836, 0.819, 0.645, 0.026, 0.108])
+    }
+
+    /// The Figure 8 tree (Sudoku `input1`'s dynamically generated shape):
+    /// three depth-1 subtrees holding ~61 %, ~28 % and ~11 % of the mass.
+    pub fn fig8(total: u64) -> Self {
+        UnbalancedTree::new(total, 0x7888)
+            .branching(3)
+            .skew(3.0)
+            .depth1(vec![61.04, 27.99, 10.97])
+    }
+
+    /// Split a node's non-root budget among its children. Every child gets
+    /// at least one node; the remainder is distributed by weight.
+    fn split(&self, p: NodeParams, at_root: bool) -> Vec<u64> {
+        let below = p.budget - 1;
+        if below == 0 {
+            return Vec::new();
+        }
+        let k = self.branching.min(below as usize).max(1);
+        // Weights: pinned percentages at the root, LCG^skew elsewhere.
+        let weights: Vec<f64> = if at_root {
+            match &self.depth1_percent {
+                Some(ps) => ps.iter().take(k).map(|&x| x.max(1e-6)).collect(),
+                None => lcg_weights(p.seed, k, self.skew),
+            }
+        } else {
+            lcg_weights(p.seed, k, self.skew)
+        };
+        let k = weights.len();
+        let total_w: f64 = weights.iter().sum();
+        // Give each child 1, distribute the rest proportionally with
+        // largest-remainder rounding so the parts sum exactly to `below`.
+        let spare = below - k as u64;
+        let mut parts: Vec<u64> = Vec::with_capacity(k);
+        let mut acc = 0f64;
+        let mut given = 0u64;
+        for w in &weights {
+            // Cumulative-rounding: targets are nondecreasing and capped at
+            // `spare`, so each increment is well-defined.
+            acc += w / total_w * spare as f64;
+            let target = (acc.round() as u64).min(spare);
+            parts.push(1 + (target - given));
+            given = target;
+        }
+        // Rounding drift lands on the last child (before any mirroring, so
+        // reversed trees are exact mirrors).
+        let sum: u64 = parts.iter().sum();
+        debug_assert!(sum <= below);
+        *parts.last_mut().expect("k >= 1") += below - sum;
+        if self.reversed {
+            parts.reverse();
+        }
+        parts
+    }
+}
+
+fn lcg_weights(seed: u64, k: usize, skew: f64) -> Vec<f64> {
+    let mut x = lcg(seed);
+    (0..k)
+        .map(|_| {
+            x = lcg(x);
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            // u^skew concentrates mass on whichever child draws the largest
+            // value, skewing harder as the exponent grows.
+            (u + 1e-9).powf(skew)
+        })
+        .collect()
+}
+
+impl Problem for UnbalancedTree {
+    /// The path of node parameters from the root (apply pushes, undo pops).
+    type State = Vec<NodeParams>;
+    type Choice = u8;
+    type Out = u64;
+
+    fn root(&self) -> Vec<NodeParams> {
+        vec![NodeParams {
+            budget: self.total,
+            seed: self.seed,
+        }]
+    }
+
+    fn expand(&self, path: &Vec<NodeParams>, depth: u32) -> Expansion<u8, u64> {
+        let top = *path.last().expect("path never empty");
+        // Per-node busy work (the paper sets each node's execution time to
+        // the average task time of the Figure 4 benchmarks).
+        spin(self.work);
+        if top.budget <= 1 {
+            return Expansion::Leaf(1);
+        }
+        let parts = self.split(top, depth == 0);
+        Expansion::Children((0..parts.len() as u8).collect())
+    }
+
+    fn apply(&self, path: &mut Vec<NodeParams>, c: u8) {
+        let top = *path.last().expect("path never empty");
+        let depth = path.len() as u32 - 1;
+        let parts = self.split(top, depth == 0);
+        let budget = parts[usize::from(c)];
+        // Seed identity follows the *unreversed* child so that a reversed
+        // tree is the exact mirror of its left-heavy twin.
+        let ident = if self.reversed {
+            (parts.len() - 1 - usize::from(c)) as u64
+        } else {
+            u64::from(c)
+        };
+        let seed = lcg(top.seed ^ (ident + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        path.push(NodeParams { budget, seed });
+    }
+
+    fn undo(&self, path: &mut Vec<NodeParams>, _c: u8) {
+        path.pop();
+    }
+
+    fn state_bytes(&self, path: &Vec<NodeParams>) -> usize {
+        path.len() * std::mem::size_of::<NodeParams>()
+    }
+
+    fn node_work(&self, _path: &Vec<NodeParams>, _depth: u32) -> u64 {
+        self.work
+    }
+}
+
+/// Burn roughly `units` small amounts of CPU, defeating the optimiser.
+#[inline]
+fn spin(units: u64) {
+    let mut acc = 0u64;
+    for i in 0..units * 8 {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        std::hint::black_box(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::serial;
+    use adaptivetc_core::treeinfo::TreeInfo;
+
+    #[test]
+    fn budgets_are_exact() {
+        for total in [1u64, 2, 3, 10, 1_000, 54_321] {
+            let t = UnbalancedTree::new(total, 9);
+            let info = TreeInfo::measure(&t);
+            assert_eq!(info.size, total, "total={total}");
+        }
+    }
+
+    #[test]
+    fn leaves_equal_reduction() {
+        let t = UnbalancedTree::new(20_000, 5);
+        let (leaves, r) = serial::run(&t);
+        assert_eq!(leaves, r.leaves);
+        assert_eq!(r.nodes, 20_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = TreeInfo::measure(&UnbalancedTree::new(50_000, 77).skew(4.0));
+        let b = TreeInfo::measure(&UnbalancedTree::new(50_000, 77).skew(4.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_the_shape() {
+        let a = TreeInfo::measure(&UnbalancedTree::new(50_000, 1));
+        let b = TreeInfo::measure(&UnbalancedTree::new(50_000, 2));
+        assert_eq!(a.size, b.size);
+        assert_ne!(a.depth1_shares, b.depth1_shares);
+    }
+
+    #[test]
+    fn reversed_mirrors_depth1_shares() {
+        let l = TreeInfo::measure(&UnbalancedTree::tree2(100_000));
+        let r = TreeInfo::measure(&UnbalancedTree::tree2(100_000).reversed());
+        let mut mirrored = l.depth1_shares.clone();
+        mirrored.reverse();
+        assert_eq!(mirrored, r.depth1_shares);
+        assert_eq!(l.size, r.size);
+        assert_eq!(l.leaves, r.leaves);
+        assert_eq!(l.depth, r.depth);
+    }
+
+    #[test]
+    fn table3_presets_match_their_percentages() {
+        let t = UnbalancedTree::tree3(1_000_000);
+        let info = TreeInfo::measure(&t);
+        let got = info.depth1_percent();
+        let want = [89.675, 6.891, 1.836, 0.819, 0.645, 0.026, 0.108];
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g - w).abs() < 0.5,
+                "depth-1 share {g:.3} too far from {w:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_deepens_the_tree() {
+        let shallow = TreeInfo::measure(&UnbalancedTree::new(100_000, 3).skew(1.0));
+        let deep = TreeInfo::measure(&UnbalancedTree::new(100_000, 3).skew(8.0));
+        assert!(
+            deep.depth > shallow.depth,
+            "skewed depth {} <= balanced depth {}",
+            deep.depth,
+            shallow.depth
+        );
+    }
+
+    #[test]
+    fn single_node_tree_is_a_leaf() {
+        let (leaves, r) = serial::run(&UnbalancedTree::new(1, 0));
+        assert_eq!(leaves, 1);
+        assert_eq!(r.nodes, 1);
+        assert_eq!(r.max_depth, 0);
+    }
+
+    #[test]
+    fn fig8_has_three_heavy_children() {
+        let info = TreeInfo::measure(&UnbalancedTree::fig8(200_000));
+        assert_eq!(info.depth1_shares.len(), 3);
+        let p = info.depth1_percent();
+        assert!(p[0] > p[1] && p[1] > p[2]);
+        assert!((p[0] - 61.04).abs() < 0.5);
+    }
+}

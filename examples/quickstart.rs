@@ -1,0 +1,50 @@
+//! Quickstart: run one benchmark under every scheduler and compare the
+//! scheduling statistics the paper is about.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptivetc_suite::core::Config;
+use adaptivetc_suite::runtime::Scheduler;
+use adaptivetc_suite::workloads::nqueens::NqueensArray;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let queens = NqueensArray::new(10);
+    let threads = std::thread::available_parallelism()?.get().min(8);
+    let cfg = Config::new(threads);
+
+    println!("10-queens on {threads} threads — who creates how many tasks?\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "scheduler", "solutions", "tasks", "fake", "special", "copies", "steals"
+    );
+    for scheduler in [
+        Scheduler::Serial,
+        Scheduler::Cilk,
+        Scheduler::CilkSynched,
+        Scheduler::Tascell,
+        Scheduler::CutoffProgrammer(3),
+        Scheduler::CutoffLibrary,
+        Scheduler::AdaptiveTc,
+    ] {
+        let (solutions, report) = scheduler.run(&queens, &cfg)?;
+        let s = &report.stats;
+        println!(
+            "{:<22} {:>10} {:>12} {:>10} {:>10} {:>12} {:>10}",
+            scheduler.to_string(),
+            solutions,
+            s.tasks_created,
+            s.fake_tasks,
+            s.special_tasks,
+            s.copies,
+            s.steals_ok
+        );
+    }
+    println!(
+        "\nThe paper's core claim in one table: AdaptiveTC answers the same\n\
+         question with orders of magnitude fewer tasks and workspace copies\n\
+         than Cilk, while still feeding idle threads (unlike a fixed cut-off)."
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: every scheduler (threaded and simulated)
+//! produces the serial answer on every workload.
+
+use adaptivetc_suite::core::{serial, Config};
+use adaptivetc_suite::runtime::Scheduler;
+use adaptivetc_suite::sim::{simulate, CostModel, Policy, SimTree};
+use adaptivetc_suite::workloads::comp::Comp;
+use adaptivetc_suite::workloads::fib::Fib;
+use adaptivetc_suite::workloads::knights::KnightsTour;
+use adaptivetc_suite::workloads::nqueens::{NqueensArray, NqueensCompute};
+use adaptivetc_suite::workloads::pentomino::Pentomino;
+use adaptivetc_suite::workloads::strimko::Strimko;
+use adaptivetc_suite::workloads::sudoku::Sudoku;
+use adaptivetc_suite::workloads::tree::UnbalancedTree;
+
+fn schedulers() -> Vec<Scheduler> {
+    vec![
+        Scheduler::Cilk,
+        Scheduler::CilkSynched,
+        Scheduler::Tascell,
+        Scheduler::CutoffProgrammer(2),
+        Scheduler::CutoffLibrary,
+        Scheduler::AdaptiveTc,
+    ]
+}
+
+fn check_all<P>(problem: &P, label: &str)
+where
+    P: adaptivetc_suite::core::Problem<Out = u64>,
+{
+    let (expected, serial_report) = serial::run(problem);
+    for scheduler in schedulers() {
+        for threads in [1, 2, 4] {
+            let cfg = Config::new(threads).seed(42 + threads as u64);
+            let (got, report) = scheduler
+                .run(problem, &cfg)
+                .unwrap_or_else(|e| panic!("{label}/{scheduler}/{threads}: {e}"));
+            assert_eq!(got, expected, "{label}: {scheduler} with {threads} threads");
+            assert_eq!(
+                report.stats.nodes, serial_report.nodes,
+                "{label}: {scheduler} with {threads} threads visited a different tree"
+            );
+        }
+    }
+    // Simulated policies visit every leaf too.
+    let tree = SimTree::from_problem(problem);
+    for policy in [
+        Policy::Cilk,
+        Policy::CilkSynched,
+        Policy::CutoffProgrammer(2),
+        Policy::CutoffLibrary,
+        Policy::AdaptiveTc,
+        Policy::Tascell,
+    ] {
+        for threads in [1, 3, 8] {
+            let out = simulate(&tree, policy, &Config::new(threads), CostModel::calibrated());
+            assert_eq!(
+                out.leaves,
+                tree.leaf_count(),
+                "{label}: simulated {} with {threads} workers",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn nqueens_array() {
+    check_all(&NqueensArray::new(8), "nqueens-array(8)");
+}
+
+#[test]
+fn nqueens_compute() {
+    check_all(&NqueensCompute::new(8), "nqueens-compute(8)");
+}
+
+#[test]
+fn strimko_small() {
+    // A 5×5 instance keeps the integration test quick.
+    let mut givens = vec![0u8; 25];
+    for (c, g) in givens.iter_mut().take(5).enumerate() {
+        *g = c as u8 + 1;
+    }
+    check_all(&Strimko::linear(5, 1, 1, givens), "strimko(5x5)");
+}
+
+#[test]
+fn knights_tour() {
+    check_all(&KnightsTour::new(5, 1, 2), "knights(5x5)");
+}
+
+#[test]
+fn sudoku_balanced() {
+    check_all(&Sudoku::balanced(), "sudoku(balanced)");
+}
+
+#[test]
+fn pentomino() {
+    check_all(&Pentomino::with_board(5, 5, 5), "pentomino(5)");
+}
+
+#[test]
+fn fib() {
+    check_all(&Fib::new(18), "fib(18)");
+}
+
+#[test]
+fn comp() {
+    check_all(&Comp::new(256, 3), "comp(256)");
+}
+
+#[test]
+fn unbalanced_tree_left_and_right() {
+    check_all(&UnbalancedTree::tree3(30_000), "tree3L(30k)");
+    check_all(&UnbalancedTree::tree3(30_000).reversed(), "tree3R(30k)");
+}
