@@ -3,9 +3,62 @@
 //! `PoolDeque` for comparison. These quantify the "management of d-e-ques"
 //! cost component of the paper's overhead breakdowns.
 
-use adaptivetc_deque::{ChaseLevDeque, ClSteal, PoolDeque, StealOutcome, TheDeque};
+use adaptivetc_deque::{ChaseLevDeque, ClSteal, PoolDeque, StealOutcome, TheDeque, WsDeque};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// The owner fast path (push + matched pop) through the [`WsDeque`] trait,
+/// exactly as the generic engine drives it — one bench per backend, so the
+/// substrate cost of `Config::backend` choices is directly comparable.
+fn bench_backend_push_pop<D: WsDeque<u64>>(c: &mut Criterion) {
+    let dq = D::with_capacity(1024);
+    c.bench_function(&format!("backend/{}/push_pop", D::NAME), |b| {
+        b.iter(|| {
+            WsDeque::push(&dq, black_box(1)).unwrap();
+            black_box(dq.pop())
+        })
+    });
+}
+
+/// The special-task cycle (push_special + push + pop + pop_special) through
+/// the trait: the extra cost `Mode::Adaptive` pays per special section.
+fn bench_backend_special_cycle<D: WsDeque<u64>>(c: &mut Criterion) {
+    let dq = D::with_capacity(1024);
+    c.bench_function(&format!("backend/{}/special_cycle", D::NAME), |b| {
+        b.iter(|| {
+            dq.push_special(black_box(9)).unwrap();
+            WsDeque::push(&dq, black_box(1)).unwrap();
+            black_box(dq.pop());
+            black_box(dq.pop_special())
+        })
+    });
+}
+
+/// The thief path (push + steal) through the trait.
+fn bench_backend_steal<D: WsDeque<u64>>(c: &mut Criterion) {
+    let dq = D::with_capacity(1024);
+    c.bench_function(&format!("backend/{}/push_steal", D::NAME), |b| {
+        b.iter(|| {
+            WsDeque::push(&dq, black_box(1)).unwrap();
+            match dq.steal() {
+                StealOutcome::Stolen(v) => black_box(v),
+                StealOutcome::Empty => unreachable!("just pushed"),
+            }
+        })
+    });
+}
+
+fn bench_all_backends(c: &mut Criterion) {
+    bench_backend_push_pop::<TheDeque<u64>>(c);
+    bench_backend_push_pop::<ChaseLevDeque<u64>>(c);
+    bench_backend_push_pop::<PoolDeque<u64>>(c);
+    bench_backend_special_cycle::<TheDeque<u64>>(c);
+    bench_backend_special_cycle::<ChaseLevDeque<u64>>(c);
+    bench_backend_special_cycle::<PoolDeque<u64>>(c);
+    bench_backend_steal::<TheDeque<u64>>(c);
+    bench_backend_steal::<ChaseLevDeque<u64>>(c);
+    bench_backend_steal::<PoolDeque<u64>>(c);
+}
 
 fn bench_the_push_pop(c: &mut Criterion) {
     let dq: TheDeque<u64> = TheDeque::new(1024);
@@ -82,6 +135,7 @@ criterion_group!(
     bench_the_steal,
     bench_pool_push_pop,
     bench_chase_lev_push_pop,
-    bench_chase_lev_steal
+    bench_chase_lev_steal,
+    bench_all_backends
 );
 criterion_main!(benches);

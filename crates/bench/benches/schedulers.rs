@@ -13,9 +13,7 @@ fn bench_schedulers_one_thread(c: &mut Criterion) {
     let cfg = Config::new(1);
     let mut group = c.benchmark_group("nqueens9_one_thread");
     group.sample_size(20);
-    group.bench_function("serial", |b| {
-        b.iter(|| black_box(serial::run(&problem).0))
-    });
+    group.bench_function("serial", |b| b.iter(|| black_box(serial::run(&problem).0)));
     for scheduler in [
         Scheduler::Cilk,
         Scheduler::CilkSynched,

@@ -23,11 +23,19 @@ fn main() {
         "{:<14} {:>9} {:>16} {:>16} {:>16}",
         "system", "peak", "ovfl @cap=8", "ovfl @cap=16", "ovfl @cap=64"
     );
-    for scheduler in [Scheduler::Cilk, Scheduler::CilkSynched, Scheduler::AdaptiveTc] {
+    for scheduler in [
+        Scheduler::Cilk,
+        Scheduler::CilkSynched,
+        Scheduler::AdaptiveTc,
+    ] {
         let (_, generous) = scheduler
             .run(&problem, &Config::new(4).deque_capacity(1 << 16))
             .expect("runs");
-        let mut row = format!("{:<14} {:>9}", scheduler.to_string(), generous.stats.deque_peak);
+        let mut row = format!(
+            "{:<14} {:>9}",
+            scheduler.to_string(),
+            generous.stats.deque_peak
+        );
         for cap in [8usize, 16, 64] {
             let (out, report) = scheduler
                 .run(&problem, &Config::new(4).deque_capacity(cap))

@@ -64,7 +64,11 @@ fn main() {
     .into_iter()
     .enumerate()
     {
-        println!("({}) random unbalanced tree {}", (b'b' + i as u8) as char, i + 1);
+        println!(
+            "({}) random unbalanced tree {}",
+            (b'b' + i as u8) as char,
+            i + 1
+        );
         sweep(&format!("Tree{}L", i + 1), &l, cost);
         sweep(&format!("Tree{}R", i + 1), &r, cost);
     }

@@ -81,10 +81,15 @@ impl Problem for Fig1Tree {
 fn main() {
     let tree = Fig1Tree::new();
     let node_count: usize = 49;
-    println!("Figure 1 worked example: tasks created on a {node_count}-node call tree, 4 threads\n");
+    println!(
+        "Figure 1 worked example: tasks created on a {node_count}-node call tree, 4 threads\n"
+    );
     // The figure uses 4 threads and a cut-off of 2.
     let cfg = Config::new(4).cutoff(CutoffPolicy::Fixed(2)).seed(7);
-    println!("{:<14} {:>8} {:>8} {:>9} {:>8}", "system", "tasks", "fake", "special", "copies");
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>8}",
+        "system", "tasks", "fake", "special", "copies"
+    );
     for scheduler in [Scheduler::Cilk, Scheduler::AdaptiveTc] {
         // Median-ish: take the max tasks over a few seeds for Cilk (it is
         // deterministic anyway) and the max for AdaptiveTC (worst case).

@@ -17,7 +17,10 @@ use adaptivetc_workloads::tree::UnbalancedTree;
 
 fn describe(label: &str, info: &TreeInfo) {
     println!("{label}");
-    println!("  size={}; depth={}; leaves={}", info.size, info.depth, info.leaves);
+    println!(
+        "  size={}; depth={}; leaves={}",
+        info.size, info.depth, info.leaves
+    );
     let percents: Vec<String> = info
         .depth1_percent()
         .iter()
@@ -34,7 +37,10 @@ fn main() {
         .unwrap_or(500_000);
 
     let sudoku = TreeInfo::measure(&Sudoku::input1());
-    describe("Sudoku input1 (this repository's instance, measured):", &sudoku);
+    describe(
+        "Sudoku input1 (this repository's instance, measured):",
+        &sudoku,
+    );
 
     let synth = TreeInfo::measure(&UnbalancedTree::fig8(total));
     describe(

@@ -28,11 +28,7 @@ fn main() {
     for bench in PaperBench::all() {
         let _warmup = bench.run_serial(); // fault in code and data pages
         let serial_ns = median_of_3(|| bench.run_serial().1.wall_ns).max(1);
-        let mut row = format!(
-            "{:<22} {:>9.1}",
-            bench.name(),
-            serial_ns as f64 / 1e6
-        );
+        let mut row = format!("{:<22} {:>9.1}", bench.name(), serial_ns as f64 / 1e6);
         for scheduler in [
             Scheduler::Tascell,
             Scheduler::Cilk,

@@ -40,6 +40,44 @@ impl CutoffPolicy {
     }
 }
 
+/// Which work-stealing deque substrate the threaded runtime uses.
+///
+/// All backends expose the same owner/thief protocol (including the
+/// special-task operations AdaptiveTC needs), so every [`Config`] ×
+/// scheduler combination is valid; they differ in synchronization cost and
+/// overflow behaviour, which is exactly what the `ablation_backend` harness
+/// measures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum DequeBackend {
+    /// The simplified THE protocol of Frigo et al. (fixed capacity,
+    /// per-deque thief lock) — the paper's substrate and the default.
+    #[default]
+    The,
+    /// The lock-free dynamic circular deque of Chase & Lev (grows on
+    /// demand, single-CAS thief synchronization).
+    ChaseLev,
+    /// The growable locked buffer-pool deque (overflow-free reference).
+    Pool,
+}
+
+impl DequeBackend {
+    /// Short name for reports and benchmark labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DequeBackend::The => "the",
+            DequeBackend::ChaseLev => "chase-lev",
+            DequeBackend::Pool => "pool",
+        }
+    }
+
+    /// All backends, for ablation sweeps.
+    pub const ALL: [DequeBackend; 3] = [
+        DequeBackend::The,
+        DequeBackend::ChaseLev,
+        DequeBackend::Pool,
+    ];
+}
+
 /// Configuration shared by all schedulers.
 ///
 /// Use the builder-style setters; [`Config::validate`] is called by the
@@ -48,11 +86,12 @@ impl CutoffPolicy {
 /// # Examples
 ///
 /// ```
-/// use adaptivetc_core::{Config, CutoffPolicy};
+/// use adaptivetc_core::{Config, CutoffPolicy, DequeBackend};
 ///
 /// let cfg = Config::new(8)
 ///     .cutoff(CutoffPolicy::Auto)
 ///     .max_stolen_num(20)
+///     .backend(DequeBackend::ChaseLev)
 ///     .seed(1);
 /// assert_eq!(cfg.threads, 8);
 /// assert!(cfg.validate().is_ok());
@@ -66,8 +105,12 @@ pub struct Config {
     /// Failed-steal threshold before a victim's `need_task` flag is raised
     /// (the paper's default is 20).
     pub max_stolen_num: u32,
-    /// Capacity of each fixed-size d-e-que.
+    /// Capacity of each fixed-size d-e-que (initial capacity for growable
+    /// backends).
     pub deque_capacity: usize,
+    /// Which deque substrate the threaded runtime uses (the simulator
+    /// models the THE protocol only).
+    pub backend: DequeBackend,
     /// Seed for all scheduler-internal randomness.
     pub seed: u64,
     /// Measure per-activity times (adds instrumentation overhead to the
@@ -83,6 +126,7 @@ impl Config {
             cutoff: CutoffPolicy::Auto,
             max_stolen_num: 20,
             deque_capacity: 4096,
+            backend: DequeBackend::The,
             seed: 0x5EED,
             timing: false,
         }
@@ -103,6 +147,12 @@ impl Config {
     /// Set the fixed d-e-que capacity.
     pub fn deque_capacity(mut self, cap: usize) -> Self {
         self.deque_capacity = cap;
+        self
+    }
+
+    /// Set the deque backend.
+    pub fn backend(mut self, backend: DequeBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -191,14 +241,25 @@ mod tests {
             .cutoff(CutoffPolicy::Fixed(9))
             .max_stolen_num(3)
             .deque_capacity(64)
+            .backend(DequeBackend::ChaseLev)
             .seed(77)
             .timing(true);
         assert_eq!(cfg.cutoff_depth(), 9);
         assert_eq!(cfg.max_stolen_num, 3);
         assert_eq!(cfg.deque_capacity, 64);
+        assert_eq!(cfg.backend, DequeBackend::ChaseLev);
         assert_eq!(cfg.seed, 77);
         assert!(cfg.timing);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let mut names: Vec<_> = DequeBackend::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DequeBackend::ALL.len());
+        assert_eq!(DequeBackend::default(), DequeBackend::The);
     }
 
     #[test]

@@ -107,6 +107,15 @@ pub struct RunStats {
     /// Workspace allocations (Cilk-SYNCHED reuses buffers: copies stay,
     /// allocations drop).
     pub allocations: u64,
+    /// Frame shells recycled from a worker's frame pool instead of being
+    /// allocated fresh.
+    pub frame_reuse: u64,
+    /// Workspace buffers recycled from a worker's state pool instead of
+    /// being allocated fresh.
+    pub state_reuse: u64,
+    /// Times an idle thief escalated its back-off (finished a spin round or
+    /// yielded) during the steal loop.
+    pub steal_backoffs: u64,
     /// `need_task` / request-flag polls executed.
     pub polls: u64,
     /// Tasks suspended at a synchronization point.
@@ -138,6 +147,9 @@ impl RunStats {
         self.copies += other.copies;
         self.copy_bytes += other.copy_bytes;
         self.allocations += other.allocations;
+        self.frame_reuse += other.frame_reuse;
+        self.state_reuse += other.state_reuse;
+        self.steal_backoffs += other.steal_backoffs;
         self.polls += other.polls;
         self.suspensions += other.suspensions;
         self.deque_peak = self.deque_peak.max(other.deque_peak);

@@ -1,17 +1,40 @@
-//! A dynamic circular work-stealing deque (Chase & Lev, SPAA 2005).
+//! A dynamic circular work-stealing deque (Chase & Lev, SPAA 2005),
+//! extended with AdaptiveTC's special-task operations.
 //!
 //! The paper cites this design as the established fix for the overflow
 //! proneness of Cilk's fixed arrays: the owner grows the circular buffer
 //! on demand, thieves synchronise with a single CAS on the head index, and
-//! no lock is ever taken. It is provided as a third backing store (next to
-//! [`TheDeque`](crate::TheDeque) and [`PoolDeque`](crate::PoolDeque)) and
-//! exercised by the deque ablation benchmarks.
+//! no lock is ever taken. Unlike the THE deque there is no per-deque thief
+//! lock, so concurrent thieves scale, at the cost of `Retry` outcomes when
+//! a CAS is lost.
+//!
+//! # Special tasks without a lock
+//!
+//! Entries carry a special/regular tag. The THE deque's
+//! `steal_specialtask` (retire the special entry, take its child) is a
+//! single locked step; here it decomposes into two independent CAS claims:
+//! a thief that finds a *special* entry at the top — and sees at least one
+//! entry above it — claims the special with a CAS, **drops** it (a special
+//! is never executed by a thief), and loops to claim the entry above,
+//! which by then is the new top. Every CAS claims exactly one slot, so the
+//! standard Chase-Lev safety argument applies unchanged to each step.
+//!
+//! The decomposition admits one benign race the locked protocol cannot
+//! produce: between the two claims the owner may pop the child, so the
+//! special is retired yet nothing was stolen. The owner's
+//! [`pop_special`](ChaseLevDeque::pop_special) then reports
+//! [`PopSpecial::ChildStolen`] conservatively; the runtime already treats
+//! `ChildStolen` as "drop the handle and rely on the delivery chain",
+//! which is correct in both cases (completion is tracked by child
+//! delivery counts, never by deque occupancy — see
+//! `adaptivetc-runtime`'s frame module).
 //!
 //! Retired buffers are kept alive until the deque is dropped (a thief may
 //! still be reading a stale buffer pointer); for the scheduler workloads
 //! here the deque holds `Arc` handles, so the memory overhead is a few
 //! machine words per growth step.
 
+use crate::the::PopSpecial;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
@@ -19,10 +42,17 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
 
+/// A tagged deque entry: special (transition) tasks are never handed to
+/// thieves.
+struct Entry<T> {
+    special: bool,
+    value: T,
+}
+
 struct Buffer<T> {
     /// Capacity, always a power of two.
     cap: usize,
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    slots: Box<[UnsafeCell<MaybeUninit<Entry<T>>>]>,
 }
 
 impl<T> Buffer<T> {
@@ -34,15 +64,15 @@ impl<T> Buffer<T> {
         Box::into_raw(Box::new(Buffer { cap, slots }))
     }
 
-    unsafe fn read(&self, index: i64) -> T {
+    unsafe fn read(&self, index: i64) -> Entry<T> {
         let slot = &self.slots[(index as usize) & (self.cap - 1)];
         unsafe { (*slot.get()).assume_init_read() }
     }
 
-    unsafe fn write(&self, index: i64, value: T) {
+    unsafe fn write(&self, index: i64, entry: Entry<T>) {
         let slot = &self.slots[(index as usize) & (self.cap - 1)];
         unsafe {
-            (*slot.get()).write(value);
+            (*slot.get()).write(entry);
         }
     }
 }
@@ -50,31 +80,38 @@ impl<T> Buffer<T> {
 /// Result of [`ChaseLevDeque::steal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClSteal<T> {
-    /// A task was stolen.
+    /// A task was stolen (for a special top entry, this is its child).
     Stolen(T),
-    /// The deque was empty.
+    /// The deque was empty or held only an unstealable special entry.
     Empty,
     /// Lost a race with another thief or the owner; try again.
     Retry,
 }
 
-/// A lock-free growable work-stealing deque.
+/// A lock-free growable work-stealing deque with special-task support.
 ///
-/// The owner calls [`push`](ChaseLevDeque::push) and
-/// [`pop`](ChaseLevDeque::pop); any thread may call
-/// [`steal`](ChaseLevDeque::steal). Unlike the THE deque there is no
-/// special-task support — this is the general-purpose substrate the paper
-/// compares against, not the AdaptiveTC-specific one.
+/// The owner calls [`push`](ChaseLevDeque::push),
+/// [`pop`](ChaseLevDeque::pop), [`push_special`](ChaseLevDeque::push_special)
+/// and [`pop_special`](ChaseLevDeque::pop_special); any thread may call
+/// [`steal`](ChaseLevDeque::steal). Pops must match pushes in LIFO order
+/// by the same owner (the structured spawn discipline of Cilk-style
+/// runtimes).
 ///
 /// # Examples
 ///
 /// ```
-/// use adaptivetc_deque::{ChaseLevDeque, ClSteal};
+/// use adaptivetc_deque::{ChaseLevDeque, ClSteal, PopSpecial};
 ///
 /// let dq: ChaseLevDeque<u32> = ChaseLevDeque::new();
 /// for i in 0..1_000 { dq.push(i); }            // grows, never overflows
 /// assert_eq!(dq.steal(), ClSteal::Stolen(0));  // FIFO for thieves
 /// assert_eq!(dq.pop(), Some(999));             // LIFO for the owner
+///
+/// let dq: ChaseLevDeque<u32> = ChaseLevDeque::new();
+/// dq.push_special(100);                         // the transition task
+/// dq.push(1);                                   // its child
+/// assert_eq!(dq.steal(), ClSteal::Stolen(1));   // thief gets the child
+/// assert_eq!(dq.pop_special(), PopSpecial::ChildStolen);
 /// ```
 pub struct ChaseLevDeque<T> {
     top: CachePadded<AtomicI64>,
@@ -94,10 +131,18 @@ const MIN_CAP: usize = 16;
 impl<T> ChaseLevDeque<T> {
     /// Create an empty deque with the minimum capacity.
     pub fn new() -> Self {
+        Self::with_capacity(MIN_CAP)
+    }
+
+    /// Create an empty deque with at least `capacity` initial slots
+    /// (rounded up to a power of two, minimum 16). The deque still grows
+    /// beyond this on demand.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(MIN_CAP);
         ChaseLevDeque {
             top: CachePadded::new(AtomicI64::new(0)),
             bottom: CachePadded::new(AtomicI64::new(0)),
-            buffer: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+            buffer: AtomicPtr::new(Buffer::alloc(cap)),
             retired: Mutex::new(Vec::new()),
         }
     }
@@ -119,8 +164,7 @@ impl<T> ChaseLevDeque<T> {
         unsafe { (*self.buffer.load(Ordering::Relaxed)).cap }
     }
 
-    /// Owner: push at the bottom, growing the buffer if full.
-    pub fn push(&self, value: T) {
+    fn push_entry(&self, entry: Entry<T>) {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         let mut buf = self.buffer.load(Ordering::Relaxed);
@@ -129,9 +173,28 @@ impl<T> ChaseLevDeque<T> {
             if (b - t) as usize >= (*buf).cap {
                 buf = self.grow(b, t, buf);
             }
-            (*buf).write(b, value);
+            (*buf).write(b, entry);
         }
         self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner: push a regular task at the bottom, growing the buffer if
+    /// full.
+    pub fn push(&self, value: T) {
+        self.push_entry(Entry {
+            special: false,
+            value,
+        });
+    }
+
+    /// Owner: push a special (transition) task at the bottom. Thieves will
+    /// never receive this entry from [`steal`](ChaseLevDeque::steal); they
+    /// take the entry above it instead.
+    pub fn push_special(&self, value: T) {
+        self.push_entry(Entry {
+            special: true,
+            value,
+        });
     }
 
     /// Double the buffer, copying live entries. Owner only.
@@ -153,8 +216,8 @@ impl<T> ChaseLevDeque<T> {
         }
     }
 
-    /// Owner: pop from the bottom.
-    pub fn pop(&self) -> Option<T> {
+    /// The standard Chase-Lev bottom pop, returning the raw tagged entry.
+    fn pop_entry(&self) -> Option<Entry<T>> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         let buf = self.buffer.load(Ordering::Relaxed);
         self.bottom.store(b, Ordering::Relaxed);
@@ -167,7 +230,7 @@ impl<T> ChaseLevDeque<T> {
         }
         // SAFETY: index b is below the published bottom; contention on the
         // last element is resolved by the CAS below.
-        let value = unsafe { (*buf).read(b) };
+        let entry = unsafe { (*buf).read(b) };
         if t == b {
             // Last element: race thieves for it.
             if self
@@ -176,37 +239,107 @@ impl<T> ChaseLevDeque<T> {
                 .is_err()
             {
                 // Lost: a thief took it; forget our read (the thief owns it).
-                std::mem::forget(value);
+                std::mem::forget(entry);
                 self.bottom.store(b + 1, Ordering::Relaxed);
                 return None;
             }
             self.bottom.store(b + 1, Ordering::Relaxed);
-            return Some(value);
+            return Some(entry);
         }
-        Some(value)
+        Some(entry)
+    }
+
+    /// Owner: pop a regular task from the bottom; `None` if it was stolen.
+    pub fn pop(&self) -> Option<T> {
+        let entry = self.pop_entry()?;
+        debug_assert!(
+            !entry.special,
+            "pop must match a regular push (LIFO discipline violated)"
+        );
+        Some(entry.value)
+    }
+
+    /// Owner: pop a special entry, detecting whether a thief consumed it.
+    ///
+    /// Unlike [`TheDeque::pop_special`](crate::TheDeque::pop_special), a
+    /// `ChildStolen` outcome here may also cover the benign race where the
+    /// special was retired by a thief that then lost its child to this
+    /// owner's earlier [`pop`](ChaseLevDeque::pop) (see the module
+    /// documentation); callers must treat `ChildStolen` as "handle gone",
+    /// not as a guarantee that a child task is running elsewhere.
+    pub fn pop_special(&self) -> PopSpecial<T> {
+        match self.pop_entry() {
+            Some(entry) => {
+                debug_assert!(
+                    entry.special,
+                    "pop_special must match a push_special (LIFO discipline violated)"
+                );
+                PopSpecial::Reclaimed(entry.value)
+            }
+            None => PopSpecial::ChildStolen,
+        }
     }
 
     /// Thief: steal from the top.
+    ///
+    /// A special entry at the top is retired (claimed and dropped) and the
+    /// entry above it is taken instead; a special with nothing above it is
+    /// left in place and reported as [`ClSteal::Empty`].
     pub fn steal(&self) -> ClSteal<T> {
-        let t = self.top.load(Ordering::Acquire);
-        fence(Ordering::SeqCst);
-        let b = self.bottom.load(Ordering::Acquire);
-        if t >= b {
-            return ClSteal::Empty;
-        }
-        let buf = self.buffer.load(Ordering::Acquire);
-        // Speculatively read, then claim with a CAS; on failure the value
-        // must be forgotten (another party owns the slot).
-        let value = unsafe { (*buf).read(t) };
-        if self
-            .top
-            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-        {
-            std::mem::forget(value);
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return ClSteal::Empty;
+            }
+            let buf = self.buffer.load(Ordering::Acquire);
+            // Speculatively read, then claim with a CAS; on failure the
+            // value must be forgotten (another party owns the slot).
+            let entry = unsafe { (*buf).read(t) };
+            if entry.special {
+                if t + 1 >= b {
+                    // A lone special is unstealable: leave it to the owner.
+                    std::mem::forget(entry);
+                    return ClSteal::Empty;
+                }
+                // Peek the child's tag before claiming anything: two
+                // adjacent specials cannot arise from the five-version FSM,
+                // so refuse defensively rather than retire a chain of
+                // specials (mirrors the THE deque's behaviour). The read is
+                // speculative, like the top read — index t+1 cannot be
+                // reclaimed before index t, which the CAS below validates.
+                let above = unsafe { (*buf).read(t + 1) };
+                let above_is_special = above.special;
+                std::mem::forget(above);
+                if above_is_special {
+                    std::mem::forget(entry);
+                    return ClSteal::Empty;
+                }
+                if self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // steal_specialtask, step 1: the special entry is
+                    // retired — dropped, never executed. Its child is now
+                    // the top; loop to claim it.
+                    drop(entry);
+                    continue;
+                }
+                std::mem::forget(entry);
+                return ClSteal::Retry;
+            }
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return ClSteal::Stolen(entry.value);
+            }
+            std::mem::forget(entry);
             return ClSteal::Retry;
         }
-        ClSteal::Stolen(value)
     }
 }
 
@@ -283,6 +416,14 @@ mod tests {
     }
 
     #[test]
+    fn with_capacity_rounds_up() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::with_capacity(100);
+        assert_eq!(d.capacity(), 128);
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::with_capacity(0);
+        assert_eq!(d.capacity(), 16);
+    }
+
+    #[test]
     fn pop_empty_repeatedly_is_safe() {
         let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
         for _ in 0..10 {
@@ -290,6 +431,87 @@ mod tests {
         }
         d.push(5);
         assert_eq!(d.pop(), Some(5));
+    }
+
+    #[test]
+    fn special_is_never_stolen_alone() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        d.push_special(42);
+        assert_eq!(d.steal(), ClSteal::Empty);
+        assert_eq!(d.pop_special(), PopSpecial::Reclaimed(42));
+    }
+
+    #[test]
+    fn steal_special_takes_child_and_pop_special_detects() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        d.push_special(42);
+        d.push(7);
+        assert_eq!(d.steal(), ClSteal::Stolen(7));
+        assert_eq!(d.pop_special(), PopSpecial::ChildStolen);
+        // Deque is now canonically empty and reusable.
+        assert!(d.is_empty());
+        d.push_special(43);
+        d.push(8);
+        assert_eq!(d.pop(), Some(8));
+        assert_eq!(d.pop_special(), PopSpecial::Reclaimed(43));
+    }
+
+    #[test]
+    fn adjacent_specials_are_refused() {
+        // Cannot arise from the FSM; the deque refuses defensively, as the
+        // THE implementation does.
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        d.push_special(1);
+        d.push_special(2);
+        assert_eq!(d.steal(), ClSteal::Empty);
+        assert_eq!(d.pop_special(), PopSpecial::Reclaimed(2));
+        assert_eq!(d.pop_special(), PopSpecial::Reclaimed(1));
+    }
+
+    #[test]
+    fn regular_tasks_below_special_are_stolen_first() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        d.push(1);
+        d.push_special(42);
+        d.push(2);
+        assert_eq!(d.steal(), ClSteal::Stolen(1));
+        assert_eq!(d.steal(), ClSteal::Stolen(2)); // via the special
+        assert_eq!(d.pop_special(), PopSpecial::ChildStolen);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn check_version_loop_shape() {
+        // Mirrors the paper's check version: the special is re-pushed per
+        // child; some children are stolen, some are not.
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::new();
+        for (i, stolen_by_thief) in [(0u32, false), (1, true), (2, false)] {
+            d.push_special(99);
+            d.push(i);
+            if stolen_by_thief {
+                assert_eq!(d.steal(), ClSteal::Stolen(i));
+                assert_eq!(d.pop_special(), PopSpecial::ChildStolen);
+            } else {
+                assert_eq!(d.pop(), Some(i));
+                assert_eq!(d.pop_special(), PopSpecial::Reclaimed(99));
+            }
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_special_tags() {
+        let d: ChaseLevDeque<u32> = ChaseLevDeque::with_capacity(16);
+        d.push_special(1000);
+        for i in 0..100 {
+            d.push(i); // forces growth with the special live at the head
+        }
+        assert!(d.capacity() > 16);
+        assert_eq!(d.steal(), ClSteal::Stolen(0)); // child via the special
+        for i in 1..100 {
+            assert_eq!(d.steal(), ClSteal::Stolen(i));
+        }
+        assert_eq!(d.pop_special(), PopSpecial::ChildStolen);
     }
 
     #[test]
@@ -303,6 +525,7 @@ mod tests {
         }
         {
             let d: ChaseLevDeque<Token> = ChaseLevDeque::new();
+            d.push_special(Token);
             for _ in 0..100 {
                 d.push(Token); // forces growth with live entries
             }
@@ -310,7 +533,7 @@ mod tests {
                 drop(d.pop());
             }
         }
-        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 101);
     }
 
     #[test]
@@ -357,5 +580,61 @@ mod tests {
             stolen.load(Ordering::SeqCst) + popped.load(Ordering::SeqCst),
             ROUNDS * (ROUNDS + 1) / 2
         );
+    }
+
+    #[test]
+    fn concurrent_special_children_conserved() {
+        // Owner repeatedly runs the check-version loop while thieves poach
+        // children through the special entry. Every regular value must be
+        // claimed exactly once; special entries are retired, never stolen.
+        const ROUNDS: u64 = 10_000;
+        const SPECIAL: u64 = u64::MAX; // sentinel: must never be claimed
+        let d: Arc<ChaseLevDeque<u64>> = Arc::new(ChaseLevDeque::new());
+        let claimed = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let d = Arc::clone(&d);
+                let claimed = Arc::clone(&claimed);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || loop {
+                    match d.steal() {
+                        ClSteal::Stolen(v) => {
+                            assert_ne!(v, SPECIAL, "a special entry was stolen");
+                            claimed.fetch_add(v, Ordering::Relaxed);
+                        }
+                        ClSteal::Retry => std::hint::spin_loop(),
+                        ClSteal::Empty => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for i in 1..=ROUNDS {
+                d.push_special(SPECIAL);
+                d.push(i);
+                match d.pop() {
+                    Some(v) => {
+                        claimed.fetch_add(v, Ordering::Relaxed);
+                        // The special may have been retired concurrently
+                        // (benign race): either outcome is legal here.
+                        match d.pop_special() {
+                            PopSpecial::Reclaimed(s) => assert_eq!(s, SPECIAL),
+                            PopSpecial::ChildStolen => {}
+                        }
+                    }
+                    None => {
+                        assert!(matches!(d.pop_special(), PopSpecial::ChildStolen));
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert_eq!(claimed.load(Ordering::SeqCst), ROUNDS * (ROUNDS + 1) / 2);
     }
 }

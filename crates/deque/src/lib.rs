@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod chase_lev;
 mod pool;
 mod signal;
 mod the;
 
+pub use backend::WsDeque;
 pub use chase_lev::{ChaseLevDeque, ClSteal};
 pub use pool::PoolDeque;
 pub use signal::NeedTask;

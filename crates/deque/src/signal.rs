@@ -88,7 +88,10 @@ mod tests {
         let s = NeedTask::new(2);
         s.record_steal_failure();
         s.record_steal_failure();
-        assert!(!s.needs_task(), "need_task raised at, not above, the threshold");
+        assert!(
+            !s.needs_task(),
+            "need_task raised at, not above, the threshold"
+        );
         s.record_steal_failure();
         assert!(s.needs_task());
     }

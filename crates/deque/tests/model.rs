@@ -154,6 +154,75 @@ proptest! {
     }
 }
 
+/// The same single-threaded model, driven through the [`WsDeque`] trait so
+/// every backend — including the Chase-Lev special-task extension — is
+/// checked against identical reference semantics. Sequences stay below the
+/// THE deque's fixed capacity so `push` never overflows.
+mod backend_model {
+    use super::{op_strategy, valid_pop, valid_pop_special, Kind, Model, Op};
+    use adaptivetc_deque::{ChaseLevDeque, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque};
+    use proptest::prelude::*;
+
+    fn run_ops<D: WsDeque<u32>>(ops: &[Op]) -> Result<(), TestCaseError> {
+        let dq = D::with_capacity(512);
+        let mut model = Model::default();
+        for &op in ops {
+            match op {
+                Op::Push(v) => {
+                    prop_assert!(dq.push(v).is_ok());
+                    model.push(v, Kind::Task);
+                }
+                Op::PushSpecial(v) => {
+                    prop_assert!(dq.push_special(v).is_ok());
+                    model.push(v, Kind::Special);
+                }
+                Op::Pop => {
+                    if valid_pop(&model) {
+                        prop_assert_eq!(dq.pop(), model.pop());
+                    }
+                }
+                Op::PopSpecial => {
+                    if valid_pop_special(&model) {
+                        let expect = model
+                            .pop_special()
+                            .map(PopSpecial::Reclaimed)
+                            .unwrap_or(PopSpecial::ChildStolen);
+                        prop_assert_eq!(dq.pop_special(), expect);
+                    }
+                }
+                Op::Steal => {
+                    let expect = model
+                        .steal()
+                        .map(StealOutcome::Stolen)
+                        .unwrap_or(StealOutcome::Empty);
+                    prop_assert_eq!(dq.steal(), expect);
+                }
+            }
+            prop_assert_eq!(dq.len(), model.items.len());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn the_backend_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            run_ops::<TheDeque<u32>>(&ops)?;
+        }
+
+        #[test]
+        fn chase_lev_backend_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            run_ops::<ChaseLevDeque<u32>>(&ops)?;
+        }
+
+        #[test]
+        fn pool_backend_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            run_ops::<PoolDeque<u32>>(&ops)?;
+        }
+    }
+}
+
 mod chase_lev_model {
     use adaptivetc_deque::{ChaseLevDeque, ClSteal};
     use proptest::prelude::*;

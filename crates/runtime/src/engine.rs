@@ -25,17 +25,48 @@
 //! node, passed to [`Problem::expand`]) and the *task* depth (the paper's
 //! cut-off counter, reset to 0 under a special task).
 //!
-//! The engine uses continuation stealing over
-//! [`TheDeque`](adaptivetc_deque::TheDeque): a spawn pushes the parent
+//! The engine uses continuation stealing over any
+//! [`WsDeque`] backend (selected by
+//! [`Config::backend`](adaptivetc_core::Config)): a spawn pushes the parent
 //! frame, the worker dives into the child, and the matched pop detects theft
-//! (the THE protocol race). Results flow through the asynchronous delivery
-//! chain in [`crate::frame`].
+//! (the THE race, or the Chase-Lev bottom CAS). Results flow through the
+//! asynchronous delivery chain in [`crate::frame`].
+//!
+//! # Hot-path object pools
+//!
+//! Each worker privately recycles the two allocations the hot path would
+//! otherwise make per task:
+//!
+//! * **workspace buffers** — every mode that copies except the faithful
+//!   [`Mode::Cilk`] baseline (which must allocate per spawn to reproduce
+//!   the paper's Cilk numbers) draws from a [`Pool`] of dead buffers and
+//!   overwrites them with `clone_from`; `RunStats::state_reuse` counts the
+//!   hits.
+//! * **frames** — a completed frame whose `Arc` has become unique again is
+//!   scrubbed and parked in a frame pool; the next spawn reuses the
+//!   allocation (`RunStats::frame_reuse`). Frames that complete
+//!   asynchronously (delivered by a thief's last child) bypass the pool and
+//!   simply drop.
 
 use crate::frame::{deliver, Frame, OutCell, Parent};
-use adaptivetc_core::{Config, Expansion, Problem, Reduce, RunReport, RunStats, XorShift64};
-use adaptivetc_deque::{NeedTask, PopSpecial, StealOutcome, TheDeque};
+use crate::pool::Pool;
+use adaptivetc_core::{
+    Config, DequeBackend, Expansion, Problem, Reduce, RunReport, RunStats, XorShift64,
+};
+use adaptivetc_deque::{
+    ChaseLevDeque, NeedTask, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque,
+};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Objects each worker's pools retain at most (dead workspace buffers and
+/// scrubbed frames). Bounds the steady-state footprint while covering the
+/// spawn working set of every paper workload.
+const POOL_CAP: usize = 128;
+
+/// Failed steals after which a spinning thief starts yielding the CPU
+/// (2^6 = 64 spin-hint rounds of exponential back-off first).
+const BACKOFF_SPIN_LIMIT: u32 = 6;
 
 /// Which scheduling policy the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,9 +96,9 @@ pub(crate) enum Regime {
     Fast2,
 }
 
-struct Shared<'p, P: Problem> {
+struct Shared<'p, P: Problem, D> {
     problem: &'p P,
-    deques: Vec<TheDeque<Arc<Frame<P>>>>,
+    deques: Vec<D>,
     signals: Vec<NeedTask>,
     root: Arc<OutCell<P::Out>>,
     mode: Mode,
@@ -87,23 +118,31 @@ fn lap(field: &mut u64, start: Option<Instant>) {
     }
 }
 
-struct Worker<'s, 'p, P: Problem> {
-    shared: &'s Shared<'p, P>,
+struct Worker<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> {
+    shared: &'s Shared<'p, P, D>,
     id: usize,
     stats: RunStats,
     rng: XorShift64,
-    /// Recycled workspace buffers (SYNCHED mode only).
-    freelist: Vec<P::State>,
+    /// Recycled workspace buffers (all copying modes except `Cilk`).
+    freelist: Pool<P::State>,
+    /// Recycled frame shells whose `Arc` became unique after a synchronous
+    /// completion.
+    frames: Pool<Arc<Frame<P>>>,
+    /// Sink parent installed into pooled frames so they hold no live
+    /// references while parked.
+    dummy: Arc<OutCell<P::Out>>,
 }
 
-impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
-    fn new(shared: &'s Shared<'p, P>, id: usize, rng: XorShift64) -> Self {
+impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
+    fn new(shared: &'s Shared<'p, P, D>, id: usize, rng: XorShift64) -> Self {
         Worker {
             shared,
             id,
             stats: RunStats::default(),
             rng,
-            freelist: Vec::new(),
+            freelist: Pool::new(POOL_CAP),
+            frames: Pool::new(POOL_CAP),
+            dummy: OutCell::new(),
         }
     }
 
@@ -113,7 +152,7 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
     }
 
     #[inline]
-    fn my_deque(&self) -> &TheDeque<Arc<Frame<P>>> {
+    fn my_deque(&self) -> &D {
         &self.shared.deques[self.id]
     }
 
@@ -122,13 +161,22 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
         &self.shared.signals[self.id]
     }
 
+    /// Does this mode recycle workspace buffers? `Cilk` stays
+    /// allocate-per-spawn (the paper's work-first baseline); every other
+    /// copying mode draws from the pool.
+    #[inline]
+    fn pools_state(&self) -> bool {
+        self.shared.mode != Mode::Cilk
+    }
+
     /// The paper's taskprivate copy: allocate (or recycle) and memcpy.
     fn clone_state(&mut self, src: &P::State) -> P::State {
         let t0 = now_if(self.shared.timing);
-        let state = if self.shared.mode == Mode::CilkSynched {
-            match self.freelist.pop() {
+        let state = if self.pools_state() {
+            match self.freelist.take() {
                 Some(mut buf) => {
                     buf.clone_from(src);
+                    self.stats.state_reuse += 1;
                     buf
                 }
                 None => {
@@ -146,10 +194,59 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
         state
     }
 
-    /// Return a dead workspace buffer to the SYNCHED free list.
+    /// Return a dead workspace buffer to the free list.
     fn recycle(&mut self, state: P::State) {
-        if self.shared.mode == Mode::CilkSynched && self.freelist.len() < 128 {
-            self.freelist.push(state);
+        if self.pools_state() {
+            self.freelist.put(state);
+        }
+    }
+
+    /// Create (or revive from the frame pool) a frame for a node whose
+    /// continuation is about to run.
+    fn make_frame(
+        &mut self,
+        parent: Parent<P>,
+        state: Option<P::State>,
+        choices: Vec<P::Choice>,
+        logical: u32,
+        depth: u32,
+    ) -> Arc<Frame<P>> {
+        match self.frames.take() {
+            Some(mut arc) => {
+                let f = Arc::get_mut(&mut arc).expect("pooled frames hold the only reference");
+                f.parent = parent;
+                f.depth = depth;
+                f.logical = logical;
+                let inner = f.inner.get_mut();
+                inner.state = state;
+                inner.choices = choices;
+                inner.next = 0;
+                inner.acc = P::Out::identity();
+                inner.outstanding = 1; // the continuation itself
+                self.stats.frame_reuse += 1;
+                arc
+            }
+            None => Frame::new(parent, state, choices, logical, depth),
+        }
+    }
+
+    /// Park a completed frame for reuse if this worker holds the only
+    /// reference; otherwise let it drop (a thief or late child still holds
+    /// it).
+    fn retire_frame(&mut self, mut frame: Arc<Frame<P>>) {
+        if let Some(f) = Arc::get_mut(&mut frame) {
+            // Scrub every live reference so the parked frame keeps nothing
+            // alive: the parent chain, leftover choices, the workspace.
+            f.parent = Parent::Cell(Arc::clone(&self.dummy));
+            let inner = f.inner.get_mut();
+            if let Some(state) = inner.state.take() {
+                self.recycle(state);
+            }
+            inner.choices.clear();
+            inner.next = 0;
+            inner.acc = P::Out::identity();
+            inner.outstanding = 0;
+            self.frames.put(frame);
         }
     }
 
@@ -204,7 +301,7 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
             }
             Expansion::Children(choices) => {
                 if self.task_mode(tdepth, regime) {
-                    let frame = Frame::new(parent, Some(state), choices, logical, tdepth);
+                    let frame = self.make_frame(parent, Some(state), choices, logical, tdepth);
                     self.frame_loop(frame, regime);
                 } else {
                     let out = match (self.shared.mode, regime) {
@@ -213,9 +310,7 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
                         // Appendix C: the check version recurses into the
                         // check version at every depth; only fast_2 falls
                         // through to the sequence version.
-                        (Mode::Adaptive, Regime::Fast) => {
-                            self.check(&mut state, logical, choices)
-                        }
+                        (Mode::Adaptive, Regime::Fast) => self.check(&mut state, logical, choices),
                         (Mode::Adaptive, Regime::Fast2) => {
                             self.sequence(&mut state, logical, choices)
                         }
@@ -251,7 +346,9 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
                     Some((c, g.next < g.choices.len()))
                 }
             };
-            let Some((choice, stealable)) = next else { break };
+            let Some((choice, stealable)) = next else {
+                break;
+            };
             // Workspace copy for the spawned child (taskprivate), taken
             // outside the lock: thieves contending for this frame only need
             // the lock briefly.
@@ -285,12 +382,11 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
             }
         }
         if let Some(out) = frame.finish_continuation() {
-            // Completed synchronously: the workspace buffer is dead and can
-            // be recycled (the SYNCHED space reuse).
-            if let Some(state) = frame.inner.lock().state.take() {
-                self.recycle(state);
-            }
-            deliver(&frame.parent, out);
+            // Completed synchronously: the workspace buffer and the frame
+            // itself are dead; both go back to this worker's pools.
+            let parent = frame.parent.clone();
+            self.retire_frame(frame);
+            deliver(&parent, out);
         }
     }
 
@@ -322,9 +418,7 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
             self.stats.nodes += 1;
             match self.problem().expand(&child, logical + 1) {
                 Expansion::Leaf(out) => acc.combine(out),
-                Expansion::Children(cs) => {
-                    acc.combine(self.sequence_copy(&child, logical + 1, cs))
-                }
+                Expansion::Children(cs) => acc.combine(self.sequence_copy(&child, logical + 1, cs)),
             }
             self.recycle(child);
         }
@@ -367,7 +461,13 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
         self.stats.special_tasks += 1;
         self.my_signal().acknowledge();
         let waiter: Arc<OutCell<P::Out>> = OutCell::new();
-        let special = Frame::new(Parent::Cell(Arc::clone(&waiter)), None, Vec::new(), logical, 0);
+        let special = self.make_frame(
+            Parent::Cell(Arc::clone(&waiter)),
+            None,
+            Vec::new(),
+            logical,
+            0,
+        );
         for c in choices {
             {
                 special.inner.lock().outstanding += 1;
@@ -397,23 +497,33 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
         // sync_specialtask: the special task cannot be suspended — wait for
         // every child to deliver before resuming the fake task.
         if let Some(out) = special.finish_continuation() {
+            self.retire_frame(special);
             return out;
         }
         self.stats.suspensions += 1;
         let t0 = now_if(self.shared.timing);
         let out = waiter.wait();
         lap(&mut self.stats.time.wait_children_ns, t0);
+        // The last child completed the frame; if its thief has unwound
+        // already, the shell is unique again and can be pooled.
+        self.retire_frame(special);
         out
     }
 
     /// Steal until the root result is ready.
+    ///
+    /// Idle thieves back off exponentially: after the k-th consecutive
+    /// failed round a thief spins `2^k` pause hints (capped at
+    /// `2^BACKOFF_SPIN_LIMIT`), then starts yielding the CPU between
+    /// attempts. Any success resets the back-off, so a thief that finds
+    /// work is immediately aggressive again.
     fn steal_loop(&mut self) {
         let n = self.shared.deques.len();
         if n == 1 {
             return;
         }
         let mut idle_since = now_if(self.shared.timing);
-        let mut consecutive_failures = 0u32;
+        let mut backoff = 0u32;
         while !self.shared.root.is_done() {
             let victim = {
                 let mut v = self.rng.below_usize(n - 1);
@@ -426,7 +536,7 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
                 StealOutcome::Stolen(frame) => {
                     self.shared.signals[victim].record_steal_success();
                     self.stats.steals_ok += 1;
-                    consecutive_failures = 0;
+                    backoff = 0;
                     lap(&mut self.stats.time.steal_wait_ns, idle_since.take());
                     // The slow version: resume the stolen continuation under
                     // fast/check rules.
@@ -436,12 +546,15 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
                 StealOutcome::Empty => {
                     self.shared.signals[victim].record_steal_failure();
                     self.stats.steals_failed += 1;
-                    consecutive_failures += 1;
-                    if consecutive_failures.is_multiple_of(64) {
-                        std::thread::yield_now();
+                    if backoff < BACKOFF_SPIN_LIMIT {
+                        for _ in 0..(1u32 << backoff) {
+                            std::hint::spin_loop();
+                        }
+                        backoff += 1;
                     } else {
-                        std::hint::spin_loop();
+                        std::thread::yield_now();
                     }
+                    self.stats.steal_backoffs += 1;
                 }
             }
         }
@@ -450,6 +563,10 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
 }
 
 /// Run `problem` under `mode` with the given configuration.
+///
+/// The deque substrate is chosen by [`Config::backend`]; every mode runs on
+/// every backend (the Chase-Lev and pool deques support the special-task
+/// protocol `Mode::Adaptive` needs).
 ///
 /// Returns the reduced result and a [`RunReport`] with per-worker
 /// statistics.
@@ -465,12 +582,25 @@ pub fn run<P: Problem>(
     cfg: &Config,
     mode: Mode,
 ) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
+    match cfg.backend {
+        DequeBackend::The => run_on::<P, TheDeque<Arc<Frame<P>>>>(problem, cfg, mode),
+        DequeBackend::ChaseLev => run_on::<P, ChaseLevDeque<Arc<Frame<P>>>>(problem, cfg, mode),
+        DequeBackend::Pool => run_on::<P, PoolDeque<Arc<Frame<P>>>>(problem, cfg, mode),
+    }
+}
+
+/// The engine, monomorphized over one deque backend.
+fn run_on<P: Problem, D: WsDeque<Arc<Frame<P>>>>(
+    problem: &P,
+    cfg: &Config,
+    mode: Mode,
+) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
     cfg.validate()?;
     let threads = cfg.threads;
     let shared = Shared {
         problem,
         deques: (0..threads)
-            .map(|_| TheDeque::new(cfg.deque_capacity))
+            .map(|_| D::with_capacity(cfg.deque_capacity))
             .collect(),
         signals: (0..threads)
             .map(|_| NeedTask::new(cfg.max_stolen_num))

@@ -47,13 +47,12 @@
 mod engine;
 mod frame;
 pub mod par;
+pub mod pool;
 pub mod tascell;
 
 pub use engine::Mode;
 
-use adaptivetc_core::{
-    serial, Config, CutoffPolicy, Problem, RunReport, RunStats, SchedulerError,
-};
+use adaptivetc_core::{serial, Config, CutoffPolicy, Problem, RunReport, RunStats, SchedulerError};
 
 /// A scheduling policy from the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -305,7 +304,10 @@ mod tests {
     #[test]
     fn display_names_match_legends() {
         assert_eq!(Scheduler::AdaptiveTc.to_string(), "AdaptiveTC");
-        assert_eq!(Scheduler::CutoffProgrammer(5).to_string(), "Cutoff-programmer(5)");
+        assert_eq!(
+            Scheduler::CutoffProgrammer(5).to_string(),
+            "Cutoff-programmer(5)"
+        );
         assert_eq!(Scheduler::CilkSynched.to_string(), "Cilk-SYNCHED");
     }
 }

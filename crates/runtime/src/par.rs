@@ -153,8 +153,7 @@ mod tests {
             Scheduler::Tascell,
             Scheduler::AdaptiveTc,
         ] {
-            let (got, _) =
-                map_reduce(s, &Config::new(2), &xs, 32, |&x| x).expect("runs");
+            let (got, _) = map_reduce(s, &Config::new(2), &xs, 32, |&x| x).expect("runs");
             assert_eq!(got, want, "{s}");
         }
     }
@@ -179,14 +178,11 @@ mod tests {
     fn pair_reduction_collects_min_and_count() {
         use adaptivetc_core::reduce::Min;
         let xs: Vec<u64> = (10..100).rev().collect();
-        let (got, _): ((Min<u64>, u64), _) = map_reduce(
-            Scheduler::AdaptiveTc,
-            &Config::new(2),
-            &xs,
-            8,
-            |&x| (Min(Some(x)), 1u64),
-        )
-        .expect("runs");
+        let (got, _): ((Min<u64>, u64), _) =
+            map_reduce(Scheduler::AdaptiveTc, &Config::new(2), &xs, 8, |&x| {
+                (Min(Some(x)), 1u64)
+            })
+            .expect("runs");
         assert_eq!(got.0 .0, Some(10));
         assert_eq!(got.1, 90);
     }

@@ -198,16 +198,17 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
         let Some((_, responder)) = self.shared.boxes[self.id].slot.lock().take() else {
             // Raced with a timed-out requester that retracted its request;
             // clear the flag.
-            self.shared.boxes[self.id].flag.store(false, Ordering::Relaxed);
+            self.shared.boxes[self.id]
+                .flag
+                .store(false, Ordering::Relaxed);
             return;
         };
-        self.shared.boxes[self.id].flag.store(false, Ordering::Relaxed);
+        self.shared.boxes[self.id]
+            .flag
+            .store(false, Ordering::Relaxed);
 
         // Shallowest splittable frame.
-        let split = self
-            .stack
-            .iter()
-            .position(|f| f.next < f.choices.len());
+        let split = self.stack.iter().position(|f| f.next < f.choices.len());
         let Some(level) = split else {
             let _ = responder.send(None);
             return;
@@ -285,7 +286,9 @@ impl<'s, 'p, P: Problem> Worker<'s, 'p, P> {
                 if let Some((_, r)) = self.shared.boxes[self.id].slot.lock().take() {
                     let _ = r.send(None);
                 }
-                self.shared.boxes[self.id].flag.store(false, Ordering::Relaxed);
+                self.shared.boxes[self.id]
+                    .flag
+                    .store(false, Ordering::Relaxed);
             }
 
             let victim = {

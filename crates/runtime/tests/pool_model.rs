@@ -1,0 +1,63 @@
+//! Model-based property tests for the per-worker object pool: arbitrary
+//! take/put sequences against a bounded-stack reference model.
+
+use adaptivetc_runtime::pool::Pool;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Put(u32),
+    Take,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![(0u32..1000).prop_map(Op::Put), Just(Op::Take)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pool_matches_bounded_stack(
+        cap in 0usize..16,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut pool: Pool<u32> = Pool::new(cap);
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Put(v) => {
+                    let accepted = pool.put(v);
+                    prop_assert_eq!(accepted, model.len() < cap);
+                    if accepted {
+                        model.push(v);
+                    }
+                }
+                Op::Take => {
+                    prop_assert_eq!(pool.take(), model.pop());
+                }
+            }
+            prop_assert_eq!(pool.len(), model.len());
+            prop_assert_eq!(pool.is_empty(), model.is_empty());
+            prop_assert!(pool.len() <= cap, "bound violated");
+            prop_assert_eq!(pool.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn pool_never_loses_or_duplicates_items(
+        puts in proptest::collection::vec(0u32..1000, 1..64),
+    ) {
+        // Everything accepted must come back exactly once, in LIFO order.
+        let mut pool: Pool<u32> = Pool::new(usize::MAX);
+        for &v in &puts {
+            prop_assert!(pool.put(v));
+        }
+        let mut drained = Vec::new();
+        while let Some(v) = pool.take() {
+            drained.push(v);
+        }
+        drained.reverse();
+        prop_assert_eq!(drained, puts);
+    }
+}

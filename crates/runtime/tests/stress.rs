@@ -1,6 +1,6 @@
 //! Stress and edge-case tests for the threaded runtime.
 
-use adaptivetc_core::{Config, CutoffPolicy, Expansion, Problem};
+use adaptivetc_core::{Config, CutoffPolicy, DequeBackend, Expansion, Problem};
 use adaptivetc_runtime::Scheduler;
 
 /// A bushy tree with a payload that checks apply/undo pairing at every
@@ -22,7 +22,11 @@ impl Problem for Checked {
         if depth == self.height {
             // Leaf value derives from the path so misrouted workspaces
             // change the sum.
-            Expansion::Leaf(path.iter().fold(1u64, |a, &h| a.wrapping_mul(31).wrapping_add(h)) % 97)
+            Expansion::Leaf(
+                path.iter()
+                    .fold(1u64, |a, &h| a.wrapping_mul(31).wrapping_add(h))
+                    % 97,
+            )
         } else {
             Expansion::Children((0..self.fanout).collect())
         }
@@ -69,7 +73,10 @@ fn cilk_stress_many_threads_small_deques() {
     let cfg = Config::new(8).deque_capacity(2).seed(3);
     let (got, report) = Scheduler::Cilk.run(&p, &cfg).expect("runs");
     assert_eq!(got, want);
-    assert!(report.stats.deque_overflows > 0, "tiny deques must overflow");
+    assert!(
+        report.stats.deque_overflows > 0,
+        "tiny deques must overflow"
+    );
 }
 
 #[test]
@@ -85,6 +92,133 @@ fn adaptive_with_deep_cutoff_degenerates_to_cilk_behaviour() {
     // Cut-off deeper than the tree: every node is a task, like Cilk.
     assert_eq!(report.stats.tasks_created, report.stats.nodes);
     assert_eq!(report.stats.fake_tasks, 0);
+}
+
+#[test]
+fn every_scheduler_on_every_backend_matches_serial() {
+    // Mixed-backend sweep: every scheduler × deque backend × {2,4,8}
+    // threads must return the serial answer. This is the cross-product the
+    // pluggable-substrate refactor has to keep correct.
+    let p = Checked {
+        height: 8,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    for backend in DequeBackend::ALL {
+        for scheduler in [
+            Scheduler::Cilk,
+            Scheduler::CilkSynched,
+            Scheduler::CutoffProgrammer(3),
+            Scheduler::CutoffLibrary,
+            Scheduler::AdaptiveTc,
+        ] {
+            for threads in [2, 4, 8] {
+                let cfg = Config::new(threads).backend(backend).seed(7);
+                let (got, report) = scheduler.run(&p, &cfg).expect("runs");
+                assert_eq!(
+                    got,
+                    want,
+                    "{scheduler} on {} with {threads} threads",
+                    backend.name()
+                );
+                assert_eq!(report.threads, threads);
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_stress_on_chase_lev_with_aggressive_signalling() {
+    // The special-task path on the lock-free backend, forced hot: a tiny
+    // max_stolen_num raises need_task constantly, so pop_special races
+    // steal_specialtask (including the benign owner-won-the-child race the
+    // Chase-Lev decomposition admits).
+    let p = Checked {
+        height: 9,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    for seed in 0..5 {
+        let cfg = Config::new(4)
+            .backend(DequeBackend::ChaseLev)
+            .max_stolen_num(1)
+            .seed(seed);
+        let (got, report) = Scheduler::AdaptiveTc.run(&p, &cfg).expect("runs");
+        assert_eq!(got, want, "seed {seed}");
+        assert_eq!(report.stats.nodes, adaptivetc_core::serial::run(&p).1.nodes);
+        assert_eq!(report.stats.deque_overflows, 0, "chase-lev never overflows");
+    }
+}
+
+#[test]
+fn pools_report_reuse_on_all_backends() {
+    let p = Checked {
+        height: 8,
+        fanout: 3,
+    };
+    let want = expected(&p);
+    for backend in DequeBackend::ALL {
+        let cfg = Config::new(2).backend(backend).seed(11);
+        let (got, report) = Scheduler::AdaptiveTc.run(&p, &cfg).expect("runs");
+        assert_eq!(got, want, "{}", backend.name());
+        assert!(
+            report.stats.state_reuse > 0,
+            "{}: adaptive runs recycle workspace buffers",
+            backend.name()
+        );
+        let (got, report) = Scheduler::CilkSynched.run(&p, &cfg).expect("runs");
+        assert_eq!(got, want, "{}", backend.name());
+        assert!(
+            report.stats.frame_reuse > 0,
+            "{}: frame-per-node schedulers recycle frames",
+            backend.name()
+        );
+        assert!(report.stats.state_reuse > 0, "{}", backend.name());
+        // The faithful Cilk baseline must keep allocating.
+        let (_, report) = Scheduler::Cilk.run(&p, &cfg).expect("runs");
+        assert_eq!(report.stats.state_reuse, 0, "{}", backend.name());
+    }
+}
+
+#[test]
+fn idle_thieves_back_off() {
+    // A serial chain gives thieves nothing to steal; they must record
+    // back-off escalations rather than spin flat out until the root
+    // resolves.
+    struct Chain;
+    impl Problem for Chain {
+        type State = ();
+        type Choice = u8;
+        type Out = u64;
+        fn root(&self) {}
+        fn expand(&self, _: &(), depth: u32) -> Expansion<u8, u64> {
+            // Busy work per node keeps the owner occupied for several
+            // milliseconds in total, so thieves get many failed rounds;
+            // the depth stays shallow enough for the check version's
+            // recursion in debug builds.
+            let mut h = u64::from(depth);
+            for i in 0..4_000u64 {
+                h = std::hint::black_box(h.wrapping_mul(0x9e3779b97f4a7c15) ^ i);
+            }
+            std::hint::black_box(h);
+            if depth == 1_000 {
+                Expansion::Leaf(1)
+            } else {
+                Expansion::Children(vec![0])
+            }
+        }
+        fn apply(&self, _: &mut (), _: u8) {}
+        fn undo(&self, _: &mut (), _: u8) {}
+    }
+    let cfg = Config::new(4).cutoff(CutoffPolicy::Fixed(1));
+    let (got, report) = Scheduler::AdaptiveTc.run(&Chain, &cfg).expect("runs");
+    assert_eq!(got, 1);
+    assert!(
+        report.stats.steal_backoffs > 0,
+        "starved thieves must escalate back-off (failed={})",
+        report.stats.steals_failed
+    );
+    assert!(report.stats.steal_backoffs <= report.stats.steals_failed);
 }
 
 #[test]

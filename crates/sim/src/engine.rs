@@ -696,9 +696,7 @@ impl<'t> Sim<'t> {
     fn steal_step(&mut self, wid: usize) -> Option<u64> {
         // Help-first: pending local children run before any stealing.
         if let Some(DqEntry::Child { .. }) = self.workers[wid].deque.back() {
-            if let Some(DqEntry::Child { node, tdepth, out }) =
-                self.workers[wid].deque.pop_back()
-            {
+            if let Some(DqEntry::Child { node, tdepth, out }) = self.workers[wid].deque.pop_back() {
                 let w = &mut self.workers[wid];
                 w.stats.deque_pops += 1;
                 w.stack.push(Entry::Node {
@@ -733,7 +731,11 @@ impl<'t> Sim<'t> {
         };
         enum Booty {
             Frame(FrameRef),
-            Child { node: u32, tdepth: u32, out: Deliver },
+            Child {
+                node: u32,
+                tdepth: u32,
+                out: Deliver,
+            },
         }
         let stolen: Option<Booty> = {
             let vd = &mut self.workers[victim].deque;
@@ -828,9 +830,7 @@ impl<'t> Sim<'t> {
             self.schedule(wid, 0);
         }
         while let Some(Reverse((t, _, wid, epoch))) = self.heap.pop() {
-            if self.workers[wid].epoch != epoch
-                || self.workers[wid].state != WState::Active
-            {
+            if self.workers[wid].epoch != epoch || self.workers[wid].state != WState::Active {
                 continue; // stale event
             }
             self.now = t;

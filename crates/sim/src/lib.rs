@@ -139,7 +139,12 @@ mod tests {
         let tree = binary_tree(10);
         for policy in all_policies() {
             for threads in [1, 2, 4, 8] {
-                let out = simulate(&tree, policy, &Config::new(threads), CostModel::calibrated());
+                let out = simulate(
+                    &tree,
+                    policy,
+                    &Config::new(threads),
+                    CostModel::calibrated(),
+                );
                 assert_eq!(
                     out.leaves,
                     tree.leaf_count(),
@@ -154,8 +159,18 @@ mod tests {
     fn deterministic_given_seed() {
         let tree = binary_tree(9);
         for policy in all_policies() {
-            let a = simulate(&tree, policy, &Config::new(4).seed(9), CostModel::calibrated());
-            let b = simulate(&tree, policy, &Config::new(4).seed(9), CostModel::calibrated());
+            let a = simulate(
+                &tree,
+                policy,
+                &Config::new(4).seed(9),
+                CostModel::calibrated(),
+            );
+            let b = simulate(
+                &tree,
+                policy,
+                &Config::new(4).seed(9),
+                CostModel::calibrated(),
+            );
             assert_eq!(a.wall_ns, b.wall_ns, "{}", policy.name());
             assert_eq!(a.report, b.report, "{}", policy.name());
         }
@@ -181,7 +196,12 @@ mod tests {
         // no deque traffic beyond the cut-off frontier) while Cilk pays a
         // task + copy per node.
         let tree = binary_tree(12);
-        let cilk = simulate(&tree, Policy::Cilk, &Config::new(1), CostModel::calibrated());
+        let cilk = simulate(
+            &tree,
+            Policy::Cilk,
+            &Config::new(1),
+            CostModel::calibrated(),
+        );
         let adpt = simulate(
             &tree,
             Policy::AdaptiveTc,
@@ -255,7 +275,12 @@ mod tests {
     #[test]
     fn tascell_records_wait_children() {
         let tree = binary_tree(12);
-        let out = simulate(&tree, Policy::Tascell, &Config::new(8), CostModel::calibrated());
+        let out = simulate(
+            &tree,
+            Policy::Tascell,
+            &Config::new(8),
+            CostModel::calibrated(),
+        );
         assert!(out.report.stats.steal_responses > 0);
         assert!(
             out.report.stats.time.wait_children_ns > 0,
@@ -267,7 +292,10 @@ mod tests {
     fn serial_wall_is_total_work() {
         let tree = binary_tree(5);
         let cost = CostModel::calibrated();
-        assert_eq!(serial_wall_ns(&tree, &cost), tree.total_work() * cost.node_ns);
+        assert_eq!(
+            serial_wall_ns(&tree, &cost),
+            tree.total_work() * cost.node_ns
+        );
     }
 
     #[test]

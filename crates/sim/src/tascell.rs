@@ -198,10 +198,7 @@ impl<'t> TascellSim<'t> {
             return 0;
         }
         // Shallowest frame with an untried choice.
-        let split = self.workers[wid]
-            .stack
-            .iter()
-            .position(|f| f.kid < f.end);
+        let split = self.workers[wid].stack.iter().position(|f| f.kid < f.end);
         let Some(level) = split else {
             // Nothing to give: fail the thief immediately.
             let at = self.now;

@@ -50,12 +50,7 @@ impl SimTree {
             depth: 0,
         };
 
-        fn visit<P: Problem>(
-            p: &P,
-            st: &mut P::State,
-            depth: u32,
-            b: &mut Builder,
-        ) -> u32 {
+        fn visit<P: Problem>(p: &P, st: &mut P::State, depth: u32, b: &mut Builder) -> u32 {
             let id = u32::try_from(b.kids.len()).expect("tree exceeds u32 nodes");
             b.kids.push(Vec::new());
             let w = p.node_work(st, depth);

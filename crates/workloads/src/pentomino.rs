@@ -91,7 +91,10 @@ impl Pentomino {
     pub fn with_board(n: usize, width: usize, height: usize) -> Self {
         assert!((1..=24).contains(&n), "piece count must be in 1..=24");
         assert_eq!(width * height, 5 * n, "board area must equal 5·n");
-        assert!(width * height <= 128, "board must fit in 128 occupancy bits");
+        assert!(
+            width * height <= 128,
+            "board must fit in 128 occupancy bits"
+        );
         let orients = (0..n)
             .map(|p| orientations_of(&PIECES[p % PIECES.len()]))
             .collect();

@@ -69,10 +69,7 @@ impl Strimko {
             sizes.iter().all(|&c| c == usize::from(n)),
             "each stream must have exactly n cells"
         );
-        assert!(
-            givens.iter().all(|&d| d <= n),
-            "given digits must be 0..=n"
-        );
+        assert!(givens.iter().all(|&d| d <= n), "given digits must be 0..=n");
         Strimko { n, streams, givens }
     }
 
@@ -120,10 +117,7 @@ impl Strimko {
             cols[i % n] |= bit;
             streams[usize::from(self.streams[i])] |= bit;
         }
-        rows.iter()
-            .chain(&cols)
-            .chain(&streams)
-            .all(|&m| m == full)
+        rows.iter().chain(&cols).chain(&streams).all(|&m| m == full)
     }
 }
 
@@ -157,8 +151,9 @@ impl Problem for Strimko {
         let Some(cell) = st.grid.iter().position(|&d| d == 0) else {
             return Expansion::Leaf(1);
         };
-        let used =
-            st.row_mask[cell / n] | st.col_mask[cell % n] | st.stream_mask[usize::from(self.streams[cell])];
+        let used = st.row_mask[cell / n]
+            | st.col_mask[cell % n]
+            | st.stream_mask[usize::from(self.streams[cell])];
         let candidates: Vec<Placement> = (1..=self.n)
             .filter(|d| used & (1 << (d - 1)) == 0)
             .map(|digit| Placement {

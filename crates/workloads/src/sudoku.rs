@@ -76,7 +76,8 @@ pub struct Sudoku {
 }
 
 /// The classic solved grid used to derive the named instances.
-const SOLVED: &str = "534678912672195348198342567859761423426853791713924856961537284287419635345286179";
+const SOLVED: &str =
+    "534678912672195348198342567859761423426853791713924856961537284287419635345286179";
 
 impl Sudoku {
     /// The uniquely-solvable "balance tree" instance.

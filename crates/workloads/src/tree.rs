@@ -101,7 +101,10 @@ impl UnbalancedTree {
     /// Pin the depth-1 subtree percentages (e.g. a Table 3 row). Values are
     /// renormalised over the non-root mass.
     pub fn depth1(mut self, percent: Vec<f64>) -> Self {
-        assert!(!percent.is_empty(), "depth-1 split needs at least one share");
+        assert!(
+            !percent.is_empty(),
+            "depth-1 split needs at least one share"
+        );
         self.depth1_percent = Some(percent);
         self
     }

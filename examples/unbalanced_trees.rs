@@ -7,7 +7,7 @@
 //! ```
 
 use adaptivetc_suite::core::Config;
-use adaptivetc_suite::sim::{simulate, serial_wall_ns, CostModel, Policy, SimTree};
+use adaptivetc_suite::sim::{serial_wall_ns, simulate, CostModel, Policy, SimTree};
 use adaptivetc_suite::workloads::tree::UnbalancedTree;
 
 fn main() {
@@ -17,7 +17,9 @@ fn main() {
         .unwrap_or(200_000);
 
     let cost = CostModel::calibrated();
-    println!("simulated speedup over the serial baseline ({total}-node trees, 8 virtual workers)\n");
+    println!(
+        "simulated speedup over the serial baseline ({total}-node trees, 8 virtual workers)\n"
+    );
     println!(
         "{:<10} {:>12} {:>12} {:>12}",
         "tree", "Cilk-SYN", "Tascell", "AdaptiveTC"

@@ -53,7 +53,12 @@ where
         Policy::Tascell,
     ] {
         for threads in [1, 3, 8] {
-            let out = simulate(&tree, policy, &Config::new(threads), CostModel::calibrated());
+            let out = simulate(
+                &tree,
+                policy,
+                &Config::new(threads),
+                CostModel::calibrated(),
+            );
             assert_eq!(
                 out.leaves,
                 tree.leaf_count(),

@@ -1,0 +1,182 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros with the real crate's
+//! call shapes, backed by a simple calibrated timing loop instead of
+//! criterion's statistical machinery: each benchmark is warmed up, then
+//! timed over `sample_size` batches, and the median ns/iter is printed.
+//! Good enough to compare the relative cost of deque backends and
+//! schedulers on one machine; not a statistics engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+/// Wall time spent warming up (page faults, branch predictors, freq ramp).
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly and record its per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the batch size.
+        let mut iters_per_batch: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if warmup_start.elapsed() >= WARMUP_TARGET && dt >= BATCH_TARGET / 2 {
+                break;
+            }
+            if dt < BATCH_TARGET {
+                iters_per_batch = iters_per_batch.saturating_mul(2);
+            }
+        }
+        // Measure.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn report(id: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{id:<44} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{id:<44} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{id:<44} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Accepted for call-compatibility with the real crate; no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            sample_size: 10,
+        };
+        f(&mut b);
+        report(id, b.ns_per_iter);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter);
+        self
+    }
+
+    /// Finish the group (cosmetic in this shim).
+    pub fn finish(self) {}
+}
+
+/// Re-export of [`std::hint::black_box`] for call-site compatibility.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}
