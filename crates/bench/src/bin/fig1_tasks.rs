@@ -1,86 +1,21 @@
 //! The Figure 1 worked example: on the paper's 49-node call tree,
 //! AdaptiveTC generates ~20 tasks while Cilk generates 49.
 //!
-//! The exact 49-node tree of Figure 1 is only partially recoverable from
-//! the paper's prose (known edges: 0→{1,40}, 1→{2,7}, 40→{41,44}, with the
-//! bulk of the mass under node 7); the reconstruction here respects those
-//! edges and the 49-node total. Counts are taken from real runs of the
-//! threaded runtime with 4 threads (the figure's p0–p3).
+//! The tree itself lives in `adaptivetc_workloads::fig1` (shared with the
+//! scheduler/simulator differential tests). Counts are taken from real
+//! runs of the threaded runtime with 4 threads (the figure's p0–p3).
 //!
 //! ```text
 //! cargo run --release -p adaptivetc-bench --bin fig1_tasks
 //! ```
 
-use adaptivetc_core::{Config, CutoffPolicy, Expansion, Problem};
+use adaptivetc_core::{Config, CutoffPolicy};
 use adaptivetc_runtime::Scheduler;
-
-/// A 49-node reconstruction of the Figure 1 call tree.
-struct Fig1Tree {
-    children: Vec<Vec<u32>>,
-}
-
-impl Fig1Tree {
-    fn new() -> Self {
-        // 0→{1,40}, 1→{2,7}, 40→{41,44}; 2, 41, 44 root small subtrees;
-        // 7 roots the large one (the figure's nodes 8–39).
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); 49];
-        children[0] = vec![1, 40];
-        children[1] = vec![2, 7];
-        children[40] = vec![41, 44];
-        children[2] = vec![3, 4];
-        children[3] = vec![5, 6];
-        children[41] = vec![42, 43];
-        children[44] = vec![45, 46];
-        children[45] = vec![47, 48];
-        // The big subtree under 7: a 3-wide, then binary, bushy shape over
-        // nodes 8..=39.
-        children[7] = vec![8, 9, 10];
-        children[8] = vec![11, 12];
-        children[9] = vec![13, 14];
-        children[10] = vec![15, 16];
-        children[11] = vec![17, 18];
-        children[12] = vec![19, 20];
-        children[13] = vec![21, 22];
-        children[14] = vec![23, 24];
-        children[15] = vec![25, 26];
-        children[16] = vec![27, 28];
-        children[17] = vec![29, 30];
-        children[18] = vec![31, 32];
-        children[19] = vec![33, 34];
-        children[20] = vec![35, 36];
-        children[21] = vec![37, 38];
-        children[22] = vec![39];
-        Fig1Tree { children }
-    }
-}
-
-impl Problem for Fig1Tree {
-    type State = Vec<u32>; // path of node ids
-    type Choice = u32;
-    type Out = u64;
-    fn root(&self) -> Vec<u32> {
-        vec![0]
-    }
-    fn expand(&self, path: &Vec<u32>, _d: u32) -> Expansion<u32, u64> {
-        let node = *path.last().expect("path never empty") as usize;
-        let kids = &self.children[node];
-        if kids.is_empty() {
-            Expansion::Leaf(1)
-        } else {
-            Expansion::Children(kids.clone())
-        }
-    }
-    fn apply(&self, path: &mut Vec<u32>, c: u32) {
-        path.push(c);
-    }
-    fn undo(&self, path: &mut Vec<u32>, _c: u32) {
-        path.pop();
-    }
-}
+use adaptivetc_workloads::fig1::Fig1Tree;
 
 fn main() {
     let tree = Fig1Tree::new();
-    let node_count: usize = 49;
+    let node_count = Fig1Tree::NODES;
     println!(
         "Figure 1 worked example: tasks created on a {node_count}-node call tree, 4 threads\n"
     );
@@ -99,7 +34,7 @@ fn main() {
             let (out, report) = scheduler
                 .run(&tree, &cfg.clone().seed(seed))
                 .expect("runs succeed");
-            assert_eq!(out, 25, "leaf count of the reconstruction");
+            assert_eq!(out, Fig1Tree::LEAVES, "leaf count of the reconstruction");
             tasks.push(report.stats.tasks_created);
             last = Some(report);
         }

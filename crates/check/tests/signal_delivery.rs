@@ -1,0 +1,106 @@
+//! Bounded model checking of the `need_task` signal: a starving thief's
+//! repeated steal failures must raise the flag exactly past the strict
+//! `max_stolen_num` threshold, the owner's acknowledgement must clear it,
+//! and the flag never regresses while only failures are recorded.
+
+use adaptivetc_check::signal::NeedTask;
+use adaptivetc_check::sync::{AtomicBool, Ordering};
+use adaptivetc_check::{explore, Config};
+use std::sync::Arc;
+
+/// Two failures with `max_stolen_num = 1` (strict `>`): by the time the
+/// thief is done, every schedule must show the flag raised, and the
+/// owner's poll observations never go true -> false before it clears.
+#[test]
+fn delivery_past_threshold() {
+    let report = explore(Config::with_preemption_bound(2), || {
+        let sig = Arc::new(NeedTask::new(1));
+        let done = Arc::new(AtomicBool::new(false));
+        let thief = {
+            let (sig, done) = (Arc::clone(&sig), Arc::clone(&done));
+            shim_sync::thread::spawn(move || {
+                sig.record_steal_failure();
+                sig.record_steal_failure();
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let mut acknowledged = false;
+        let mut prev = false;
+        for _ in 0..6 {
+            let now = sig.needs_task();
+            assert!(
+                !prev || now,
+                "need_task regressed true -> false with no acknowledgement"
+            );
+            prev = now;
+            if now {
+                sig.acknowledge();
+                assert!(!sig.needs_task(), "acknowledge did not clear need_task");
+                assert_eq!(sig.stolen_num(), 0, "acknowledge did not reset stolen_num");
+                acknowledged = true;
+                break;
+            }
+        }
+        thief.join().unwrap();
+        if !acknowledged {
+            // Both failures are visible now; delivery must have happened.
+            assert!(
+                sig.needs_task(),
+                "two failures past the threshold never raised need_task"
+            );
+        }
+        assert!(sig.stolen_num() <= 2, "stolen_num overshot the failures");
+    });
+    assert!(
+        report.complete,
+        "need_task delivery space not exhausted: {report:?}"
+    );
+    println!("signal_delivery::delivery_past_threshold: {report:?}");
+}
+
+/// The threshold is strict: a single failure with `max_stolen_num = 1`
+/// never raises the flag, in any schedule.
+#[test]
+fn strict_threshold_no_false_positive() {
+    let report = explore(Config::with_preemption_bound(2), || {
+        let sig = Arc::new(NeedTask::new(1));
+        let thief = {
+            let sig = Arc::clone(&sig);
+            shim_sync::thread::spawn(move || {
+                sig.record_steal_failure();
+            })
+        };
+        let polled = sig.needs_task();
+        assert!(
+            !polled,
+            "one failure must not exceed a strict threshold of 1"
+        );
+        thief.join().unwrap();
+        assert!(!sig.needs_task());
+        assert_eq!(sig.stolen_num(), 1);
+    });
+    assert!(report.complete, "space not exhausted: {report:?}");
+}
+
+/// A successful steal resets the count and clears the flag: delivery is
+/// withdrawn once the thief is fed, in every interleaving with the
+/// victim's poll.
+#[test]
+fn success_clears_signal() {
+    let report = explore(Config::with_preemption_bound(2), || {
+        let sig = Arc::new(NeedTask::new(1));
+        let thief = {
+            let sig = Arc::clone(&sig);
+            shim_sync::thread::spawn(move || {
+                sig.record_steal_failure();
+                sig.record_steal_failure();
+                sig.record_steal_success();
+            })
+        };
+        let _ = sig.needs_task(); // racing poll, any answer is legal
+        thief.join().unwrap();
+        assert!(!sig.needs_task(), "success must clear need_task");
+        assert_eq!(sig.stolen_num(), 0, "success must reset stolen_num");
+    });
+    assert!(report.complete, "space not exhausted: {report:?}");
+}

@@ -34,13 +34,12 @@
 //! here the deque holds `Arc` handles, so the memory overhead is a few
 //! machine words per growth step.
 
+use crate::sync::{fence, AtomicI64, AtomicPtr, Mutex, Ordering};
 use crate::the::PopSpecial;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
 
 /// A tagged deque entry: special (transition) tasks are never handed to
 /// thieves.

@@ -42,6 +42,7 @@ mod backend;
 mod chase_lev;
 mod pool;
 mod signal;
+mod sync;
 mod the;
 
 pub use backend::WsDeque;

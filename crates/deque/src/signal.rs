@@ -1,6 +1,6 @@
 //! The `stolen_num` / `need_task` back-pressure signal.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use crate::sync::{AtomicBool, AtomicU32, Ordering};
 
 /// Per-worker signal through which thieves ask a busy victim for tasks.
 ///

@@ -1,0 +1,22 @@
+//! Synchronization facade for the deque protocols.
+//!
+//! Release and test builds re-export the real primitives
+//! (`std::sync::atomic` plus `parking_lot::Mutex`), so the hot path pays
+//! nothing for the abstraction. Building with `--cfg adaptivetc_check`
+//! (RUSTFLAGS) swaps in the model primitives from `shim-sync`, whose every
+//! operation is a yield point of the bounded schedule explorer. The
+//! `adaptivetc-check` crate also compiles these sources directly against
+//! the model types via `#[path]` includes, so `cargo test -p
+//! adaptivetc-check` explores schedules with no special flags.
+
+#[cfg(not(adaptivetc_check))]
+pub use parking_lot::Mutex;
+#[cfg(not(adaptivetc_check))]
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering,
+};
+
+#[cfg(adaptivetc_check)]
+pub use shim_sync::sync::{
+    fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Mutex, Ordering,
+};

@@ -18,13 +18,12 @@
 //!   stolen (`H > T` after decrementing), `H` is reset to `T` so the special
 //!   task remains conceptually at the head (`pop_specialtask`).
 
+use crate::sync::{fence, AtomicU64, AtomicU8, Mutex, Ordering};
 use crate::Overflow;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
 
 /// Result of a steal attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -49,6 +49,7 @@
 //!   simply drop.
 
 use crate::frame::{deliver, Frame, OutCell, Parent};
+use crate::fsm;
 use crate::pool::Pool;
 use adaptivetc_core::{
     Config, DequeBackend, Expansion, Problem, Reduce, RunReport, RunStats, XorShift64,
@@ -276,10 +277,9 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         match self.shared.mode {
             Mode::Cilk | Mode::CilkSynched => true,
             Mode::CutoffSequence | Mode::CutoffCopy => tdepth < self.shared.cutoff,
-            Mode::Adaptive => match regime {
-                Regime::Fast => tdepth < self.shared.cutoff,
-                Regime::Fast2 => tdepth < self.shared.cutoff * 2,
-            },
+            Mode::Adaptive => {
+                fsm::task_mode(tdepth, self.shared.cutoff, matches!(regime, Regime::Fast2))
+            }
         }
     }
 
@@ -431,7 +431,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     /// at every depth).
     fn check(&mut self, state: &mut P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
         self.stats.polls += 1;
-        if !self.my_signal().needs_task() {
+        if fsm::after_poll(self.my_signal().needs_task()) == fsm::Version::Check {
             self.stats.fake_tasks += 1;
             let mut acc = P::Out::identity();
             for c in choices {

@@ -46,6 +46,7 @@
 
 mod engine;
 mod frame;
+pub mod fsm;
 pub mod par;
 pub mod pool;
 pub mod tascell;

@@ -1,0 +1,114 @@
+//! The Figure 1 worked example: the paper's 49-node call tree, on which
+//! AdaptiveTC generates ~20 tasks while Cilk generates one per node.
+//!
+//! The exact 49-node tree of Figure 1 is only partially recoverable from
+//! the paper's prose (known edges: 0→{1,40}, 1→{2,7}, 40→{41,44}, with the
+//! bulk of the mass under node 7); the reconstruction here respects those
+//! edges and the 49-node total. It is shared by the `fig1_tasks` bench
+//! binary and the scheduler/simulator differential tests, so the two
+//! always agree on the tree they count tasks on.
+
+use adaptivetc_core::{Expansion, Problem};
+
+/// A 49-node reconstruction of the Figure 1 call tree. Leaves return 1,
+/// so the answer is the leaf count: [`Fig1Tree::LEAVES`].
+#[derive(Debug)]
+pub struct Fig1Tree {
+    children: Vec<Vec<u32>>,
+}
+
+impl Fig1Tree {
+    /// Number of nodes in the reconstruction (as in the figure).
+    pub const NODES: usize = 49;
+    /// Number of leaves, i.e. the search's answer.
+    pub const LEAVES: u64 = 25;
+
+    /// Build the reconstruction.
+    pub fn new() -> Self {
+        // 0→{1,40}, 1→{2,7}, 40→{41,44}; 2, 41, 44 root small subtrees;
+        // 7 roots the large one (the figure's nodes 8–39).
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); Self::NODES];
+        children[0] = vec![1, 40];
+        children[1] = vec![2, 7];
+        children[40] = vec![41, 44];
+        children[2] = vec![3, 4];
+        children[3] = vec![5, 6];
+        children[41] = vec![42, 43];
+        children[44] = vec![45, 46];
+        children[45] = vec![47, 48];
+        // The big subtree under 7: a 3-wide, then binary, bushy shape over
+        // nodes 8..=39.
+        children[7] = vec![8, 9, 10];
+        children[8] = vec![11, 12];
+        children[9] = vec![13, 14];
+        children[10] = vec![15, 16];
+        children[11] = vec![17, 18];
+        children[12] = vec![19, 20];
+        children[13] = vec![21, 22];
+        children[14] = vec![23, 24];
+        children[15] = vec![25, 26];
+        children[16] = vec![27, 28];
+        children[17] = vec![29, 30];
+        children[18] = vec![31, 32];
+        children[19] = vec![33, 34];
+        children[20] = vec![35, 36];
+        children[21] = vec![37, 38];
+        children[22] = vec![39];
+        Fig1Tree { children }
+    }
+}
+
+impl Default for Fig1Tree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for Fig1Tree {
+    type State = Vec<u32>; // path of node ids
+    type Choice = u32;
+    type Out = u64;
+    fn root(&self) -> Vec<u32> {
+        vec![0]
+    }
+    fn expand(&self, path: &Vec<u32>, _d: u32) -> Expansion<u32, u64> {
+        let node = *path.last().expect("path never empty") as usize;
+        let kids = &self.children[node];
+        if kids.is_empty() {
+            Expansion::Leaf(1)
+        } else {
+            Expansion::Children(kids.clone())
+        }
+    }
+    fn apply(&self, path: &mut Vec<u32>, c: u32) {
+        path.push(c);
+    }
+    fn undo(&self, path: &mut Vec<u32>, _c: u32) {
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::serial;
+
+    #[test]
+    fn shape_matches_the_figure() {
+        let tree = Fig1Tree::new();
+        let reachable: usize = {
+            let mut seen = [false; Fig1Tree::NODES];
+            let mut stack = vec![0u32];
+            while let Some(n) = stack.pop() {
+                if !std::mem::replace(&mut seen[n as usize], true) {
+                    stack.extend(&tree.children[n as usize]);
+                }
+            }
+            seen.iter().filter(|s| **s).count()
+        };
+        assert_eq!(reachable, Fig1Tree::NODES, "every node is in the tree");
+        let (leaves, report) = serial::run(&tree);
+        assert_eq!(leaves, Fig1Tree::LEAVES);
+        assert_eq!(report.nodes, Fig1Tree::NODES as u64);
+    }
+}

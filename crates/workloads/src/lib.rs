@@ -12,6 +12,7 @@
 //! | [`fib`] | Fib(n) | none |
 //! | [`comp`] | Comp(n) | none |
 //! | [`tree`] | unbalanced search trees (Figs. 8–10, Table 3) | path stack |
+//! | [`fig1`] | the Figure 1 worked-example call tree | path stack |
 //!
 //! # Examples
 //!
@@ -28,6 +29,7 @@
 
 pub mod comp;
 pub mod fib;
+pub mod fig1;
 pub mod knights;
 pub mod nqueens;
 pub mod pentomino;

@@ -119,3 +119,58 @@ fn unbalanced_tree_left_and_right() {
     check_all(&UnbalancedTree::tree3(30_000), "tree3L(30k)");
     check_all(&UnbalancedTree::tree3(30_000).reversed(), "tree3R(30k)");
 }
+
+/// Differential test on the shared Figure 1 call tree: at one thread the
+/// threaded engine is deterministic (no thieves), so its task-accounting
+/// counters — real tasks, fake tasks, special tasks — must agree *exactly*
+/// with the discrete-event simulator's, for every deque backend. Any drift
+/// between the two engines' task-creation logic shows up here first.
+#[test]
+fn fig1_engine_matches_simulator_exactly() {
+    use adaptivetc_suite::core::{CutoffPolicy, DequeBackend};
+    use adaptivetc_suite::workloads::fig1::Fig1Tree;
+
+    let tree = Fig1Tree::new();
+    let sim_tree = SimTree::from_problem(&tree);
+    for (scheduler, policy) in [
+        (Scheduler::Cilk, Policy::Cilk),
+        (Scheduler::AdaptiveTc, Policy::AdaptiveTc),
+        (Scheduler::Tascell, Policy::Tascell),
+    ] {
+        let cfg = Config::new(1).cutoff(CutoffPolicy::Fixed(2)).seed(42);
+        let sim = simulate(&sim_tree, policy, &cfg, CostModel::calibrated());
+        assert_eq!(sim.leaves, Fig1Tree::LEAVES, "sim {}", policy.name());
+        for backend in DequeBackend::ALL {
+            let cfg = cfg.clone().backend(backend);
+            let (out, report) = scheduler
+                .run(&tree, &cfg)
+                .unwrap_or_else(|e| panic!("fig1/{scheduler}/{}: {e}", backend.name()));
+            assert_eq!(out, Fig1Tree::LEAVES, "{scheduler}/{}", backend.name());
+            for (name, engine, simulated) in [
+                (
+                    "tasks_created",
+                    report.stats.tasks_created,
+                    sim.report.stats.tasks_created,
+                ),
+                (
+                    "fake_tasks",
+                    report.stats.fake_tasks,
+                    sim.report.stats.fake_tasks,
+                ),
+                (
+                    "special_tasks",
+                    report.stats.special_tasks,
+                    sim.report.stats.special_tasks,
+                ),
+            ] {
+                assert_eq!(
+                    engine,
+                    simulated,
+                    "fig1: {scheduler} ({}) vs simulated {}: {name} diverged",
+                    backend.name(),
+                    policy.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Bounded schedule exploration for concurrent code, vendored offline in
+//! the spirit of `loom` and CHESS-style stateless model checkers.
+//!
+//! Code under test is ported onto the model primitives in [`sync`] and
+//! [`thread`]; [`explore`] then re-executes a closure under every thread
+//! interleaving reachable within a preemption bound, panicking with a
+//! replayable schedule trace on the first assertion failure, deadlock, or
+//! livelock. See `crates/check` in this workspace for the harness that
+//! applies it to the deque protocols, and DESIGN.md §8 for scope and
+//! limitations (sequentially consistent interleavings only).
+//!
+//! ```
+//! let report = shim_sync::explore(shim_sync::Config::default(), || {
+//!     let flag = std::sync::Arc::new(shim_sync::sync::AtomicBool::new(false));
+//!     let f2 = std::sync::Arc::clone(&flag);
+//!     let t = shim_sync::thread::spawn(move || {
+//!         f2.store(true, shim_sync::sync::Ordering::SeqCst)
+//!     });
+//!     t.join().unwrap();
+//!     assert!(flag.load(shim_sync::sync::Ordering::SeqCst));
+//! });
+//! assert!(report.complete);
+//! ```
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{current_trail, explore, replay, Config, Report};

@@ -1,0 +1,868 @@
+//! Explorer runtime: a token-passing cooperative scheduler plus a
+//! stateless re-execution DFS over schedule decisions.
+//!
+//! Exactly one *model thread* runs between two yield points, so every
+//! interleaving of instrumented operations corresponds to one sequence of
+//! scheduling decisions (a *trail*). The DFS re-executes the user closure
+//! with a forced decision prefix and enumerates the alternatives left at
+//! each decision point, subject to a CHESS-style preemption bound:
+//! switching away from a still-runnable thread consumes budget, switching
+//! away from a blocked or finished thread is free.
+//!
+//! State hashing prunes re-converging schedules: when a decision point is
+//! reached in a state that an already *completed* subtree explored with at
+//! least as much preemption budget, its alternatives are dropped. Entries
+//! are inserted only when the DFS backtracks past a fully explored frame,
+//! so pruning never consults in-progress work and stays sound.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdGuard};
+use std::time::{Duration, Instant};
+
+/// Panic payload used to unwind model threads during teardown. Never a
+/// reported failure by itself.
+pub(crate) struct Abort;
+
+/// Result slot shared between a model thread and its join handle.
+pub(crate) type Slot<T> = Arc<StdMutex<Option<Result<T, String>>>>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// OS thread spawned but not yet parked at its first yield point.
+    Starting,
+    Runnable,
+    BlockedMutex(u64),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    /// Mutex id this thread's pending operation wants, if any.
+    pending_lock: Option<u64>,
+    op_count: u64,
+    /// Running hash of every value this thread has observed; together with
+    /// `op_count` it is a proxy for the thread's deterministic local state.
+    obs_hash: u64,
+}
+
+impl ThreadSt {
+    fn new(status: Status) -> Self {
+        ThreadSt {
+            status,
+            pending_lock: None,
+            op_count: 0,
+            obs_hash: 0,
+        }
+    }
+}
+
+/// One decision point recorded beyond the forced prefix.
+#[derive(Clone, Debug)]
+pub(crate) struct Frame {
+    pub chosen: usize,
+    pub alts: Vec<usize>,
+    pub state_hash: u64,
+    /// Preemption budget remaining *before* this decision was taken.
+    pub budget: u32,
+}
+
+pub(crate) struct RtState {
+    max_steps: u64,
+    /// The single thread allowed to execute its pending operation.
+    current: usize,
+    threads: Vec<ThreadSt>,
+    /// Mutex object id -> owning thread (None = free).
+    mutex_owner: HashMap<u64, Option<usize>>,
+    /// Atomic object id -> last written value (hash input).
+    objects: HashMap<u64, u64>,
+    /// Raw pointer -> first-seen ordinal, so `AtomicPtr` values hash
+    /// deterministically across re-executions.
+    ptr_ords: HashMap<usize, u64>,
+    next_obj_id: u64,
+    forced: Vec<usize>,
+    forced_pos: usize,
+    frames: Vec<Frame>,
+    trail: Vec<usize>,
+    ops: Vec<String>,
+    steps: u64,
+    budget: u32,
+    teardown: bool,
+    violation: Option<String>,
+    complete: bool,
+    visited: HashMap<u64, u32>,
+    record_frames: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    pruned: u64,
+}
+
+pub(crate) struct Ctx {
+    st: StdMutex<RtState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<(Arc<Ctx>, usize)>> = const { RefCell::new(None) };
+}
+
+fn tls() -> Option<(Arc<Ctx>, usize)> {
+    TLS.with(|t| t.borrow().clone())
+}
+
+fn lock(ctx: &Ctx) -> StdGuard<'_, RtState> {
+    ctx.st.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(ctx: &'a Ctx, g: StdGuard<'a, RtState>) -> StdGuard<'a, RtState> {
+    ctx.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+fn abort() -> ! {
+    panic::panic_any(Abort)
+}
+
+/// splitmix64 finalizer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn mix2(a: u64, b: u64) -> u64 {
+    mix(a ^ mix(b))
+}
+
+/// Commutative fold over objects and threads, so hashing is independent of
+/// map iteration order.
+fn state_hash(st: &RtState) -> u64 {
+    let mut h = mix(st.current as u64 + 1);
+    for (&id, &v) in &st.objects {
+        h ^= mix2(id, v);
+    }
+    for (&id, &o) in &st.mutex_owner {
+        h ^= mix2(mix(id), o.map_or(0, |t| t as u64 + 1));
+    }
+    for (i, t) in st.threads.iter().enumerate() {
+        let s = match t.status {
+            Status::Starting => 1,
+            Status::Runnable => 2,
+            Status::BlockedMutex(m) => mix(3 ^ m),
+            Status::BlockedJoin(j) => mix(5 ^ (j as u64).wrapping_mul(7)),
+            Status::Finished => 11,
+        };
+        h ^= mix2(mix2(i as u64 + 17, t.op_count), mix2(t.obs_hash, s));
+    }
+    h
+}
+
+fn runnable(st: &RtState, tid: usize) -> bool {
+    matches!(st.threads[tid].status, Status::Runnable)
+}
+
+fn fail(ctx: &Ctx, st: &mut RtState, msg: String) {
+    if st.violation.is_none() {
+        st.violation = Some(msg);
+    }
+    st.teardown = true;
+    ctx.cv.notify_all();
+}
+
+/// One scheduling decision: which thread's pending operation executes next.
+/// Called with the lock held by the token holder (`st.current == tid`).
+/// Returns the chosen thread; on completion/deadlock/step-bound it returns
+/// `tid` with `complete` or `teardown` set.
+fn decide(ctx: &Ctx, st: &mut RtState, tid: usize) -> usize {
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        fail(
+            ctx,
+            st,
+            format!("step bound {} exceeded (livelock?)", st.max_steps),
+        );
+        return tid;
+    }
+    let en: Vec<usize> = (0..st.threads.len()).filter(|&t| runnable(st, t)).collect();
+    if en.is_empty() {
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            st.complete = true;
+            ctx.cv.notify_all();
+        } else {
+            fail(ctx, st, "deadlock: no runnable thread".to_string());
+        }
+        return tid;
+    }
+    let self_en = runnable(st, tid);
+    let default = if self_en { tid } else { en[0] };
+    let chosen = if st.forced_pos < st.forced.len() {
+        let c = st.forced[st.forced_pos];
+        st.forced_pos += 1;
+        if !runnable(st, c) {
+            fail(
+                ctx,
+                st,
+                format!(
+                    "replay diverged: t{c} not runnable at decision {}",
+                    st.forced_pos
+                ),
+            );
+            return tid;
+        }
+        c
+    } else {
+        // A switch away from a still-runnable thread is a preemption; it is
+        // only an alternative while budget remains. Switches away from a
+        // blocked thread are free.
+        let mut alts: Vec<usize> = if self_en && st.budget == 0 {
+            Vec::new()
+        } else {
+            en.iter().copied().filter(|&t| t != default).collect()
+        };
+        let h = state_hash(st);
+        if let Some(&b) = st.visited.get(&h) {
+            if b >= st.budget {
+                alts.clear();
+                st.pruned += 1;
+            }
+        }
+        if st.record_frames {
+            st.frames.push(Frame {
+                chosen: default,
+                alts,
+                state_hash: h,
+                budget: st.budget,
+            });
+        }
+        default
+    };
+    if chosen != tid && self_en {
+        st.budget = st.budget.saturating_sub(1);
+    }
+    st.trail.push(chosen);
+    chosen
+}
+
+/// Instrumented shared-memory operation: yield, run `f` while holding the
+/// token, then record its observation. Falls back to running `f` directly
+/// when no explorer is active (or while unwinding during teardown).
+pub(crate) fn model_op<R>(
+    f: impl FnOnce() -> R,
+    post: impl FnOnce(&R, &mut RtState) -> (u64, String),
+) -> R {
+    let Some((ctx, tid)) = tls() else { return f() };
+    if std::thread::panicking() {
+        return f();
+    }
+    let mut g = lock(&ctx);
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    if g.current == tid {
+        let chosen = decide(&ctx, &mut g, tid);
+        if !g.teardown && chosen != tid {
+            g.current = chosen;
+            ctx.cv.notify_all();
+        }
+    }
+    while g.current != tid && !g.teardown {
+        g = wait(&ctx, g);
+    }
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    let r = f();
+    let (obs, desc) = post(&r, &mut g);
+    let step = g.steps;
+    let t = &mut g.threads[tid];
+    t.op_count += 1;
+    t.obs_hash = mix2(t.obs_hash, obs);
+    g.ops.push(format!("step {step:>4}: t{tid} {desc}"));
+    r
+}
+
+/// Register an atomic object; returns 0 outside an active execution.
+pub(crate) fn register_object(init: u64) -> u64 {
+    match tls() {
+        Some((ctx, _)) if !std::thread::panicking() => {
+            let mut g = lock(&ctx);
+            g.next_obj_id += 1;
+            let id = g.next_obj_id;
+            g.objects.insert(id, init);
+            id
+        }
+        _ => 0,
+    }
+}
+
+/// Register an `AtomicPtr`, normalizing the initial pointer to an ordinal.
+pub(crate) fn register_ptr_object(init: usize) -> u64 {
+    match tls() {
+        Some((ctx, _)) if !std::thread::panicking() => {
+            let mut g = lock(&ctx);
+            let v = ptr_ord(&mut g, init);
+            g.next_obj_id += 1;
+            let id = g.next_obj_id;
+            g.objects.insert(id, v);
+            id
+        }
+        _ => 0,
+    }
+}
+
+pub(crate) fn unregister_object(id: u64) {
+    if id == 0 || std::thread::panicking() {
+        return;
+    }
+    if let Some((ctx, _)) = tls() {
+        lock(&ctx).objects.remove(&id);
+    }
+}
+
+/// Record the written value of an atomic for state hashing.
+pub(crate) fn set_object(st: &mut RtState, id: u64, v: u64) {
+    if id != 0 {
+        st.objects.insert(id, v);
+    }
+}
+
+/// First-seen ordinal for a raw pointer (deterministic per schedule).
+pub(crate) fn ptr_ord(st: &mut RtState, p: usize) -> u64 {
+    if p == 0 {
+        return 0;
+    }
+    let next = st.ptr_ords.len() as u64 + 1;
+    *st.ptr_ords.entry(p).or_insert(next)
+}
+
+pub(crate) fn register_mutex() -> u64 {
+    match tls() {
+        Some((ctx, _)) if !std::thread::panicking() => {
+            let mut g = lock(&ctx);
+            g.next_obj_id += 1;
+            let id = g.next_obj_id;
+            g.mutex_owner.insert(id, None);
+            id
+        }
+        _ => 0,
+    }
+}
+
+pub(crate) fn unregister_mutex(id: u64) {
+    if id == 0 || std::thread::panicking() {
+        return;
+    }
+    if let Some((ctx, _)) = tls() {
+        lock(&ctx).mutex_owner.remove(&id);
+    }
+}
+
+fn mutex_free(st: &RtState, id: u64) -> bool {
+    st.mutex_owner.get(&id).copied().flatten().is_none()
+}
+
+/// Model-side mutex acquisition. Returns false when no explorer is active
+/// (caller then relies on the real inner mutex alone).
+pub(crate) fn model_lock(id: u64) -> bool {
+    let Some((ctx, tid)) = tls() else {
+        return false;
+    };
+    if std::thread::panicking() {
+        return false;
+    }
+    let mut g = lock(&ctx);
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    g.threads[tid].pending_lock = Some(id);
+    if !mutex_free(&g, id) {
+        g.threads[tid].status = Status::BlockedMutex(id);
+    }
+    loop {
+        if g.current == tid && !g.teardown {
+            let chosen = decide(&ctx, &mut g, tid);
+            if !g.teardown && chosen != tid {
+                g.current = chosen;
+                ctx.cv.notify_all();
+            }
+        }
+        while g.current != tid && !g.teardown {
+            g = wait(&ctx, g);
+        }
+        if g.teardown {
+            drop(g);
+            abort();
+        }
+        if mutex_free(&g, id) {
+            break;
+        }
+        // Defensive: re-block if the mutex was re-taken before our grant.
+        g.threads[tid].status = Status::BlockedMutex(id);
+    }
+    g.mutex_owner.insert(id, Some(tid));
+    g.threads[tid].pending_lock = None;
+    g.threads[tid].status = Status::Runnable;
+    // Threads whose pending op wants this mutex are no longer enabled.
+    for i in 0..g.threads.len() {
+        if i != tid
+            && g.threads[i].pending_lock == Some(id)
+            && g.threads[i].status == Status::Runnable
+        {
+            g.threads[i].status = Status::BlockedMutex(id);
+        }
+    }
+    let step = g.steps;
+    let t = &mut g.threads[tid];
+    t.op_count += 1;
+    t.obs_hash = mix2(t.obs_hash, mix(id));
+    g.ops
+        .push(format!("step {step:>4}: t{tid} Mutex#{id} lock"));
+    true
+}
+
+/// Model-side mutex release. Not a yield point: the next shared operation
+/// of the releasing thread is, which captures the same interleavings.
+pub(crate) fn model_unlock(id: u64) {
+    let Some((ctx, tid)) = tls() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut g = lock(&ctx);
+    if g.teardown {
+        return;
+    }
+    g.mutex_owner.insert(id, None);
+    for t in g.threads.iter_mut() {
+        if t.status == Status::BlockedMutex(id) {
+            t.status = Status::Runnable;
+        }
+    }
+    let step = g.steps;
+    let t = &mut g.threads[tid];
+    t.op_count += 1;
+    t.obs_hash = mix2(t.obs_hash, mix(id ^ 0xff));
+    g.ops
+        .push(format!("step {step:>4}: t{tid} Mutex#{id} unlock"));
+}
+
+/// Spawn a model thread; gives the closure back when no explorer is active.
+pub(crate) fn model_spawn<T, F>(f: F) -> Result<(usize, Slot<T>), F>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((ctx, tid)) = tls() else {
+        return Err(f);
+    };
+    if std::thread::panicking() {
+        return Err(f);
+    }
+    let mut g = lock(&ctx);
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    // The spawn itself is a yield point.
+    if g.current == tid {
+        let chosen = decide(&ctx, &mut g, tid);
+        if !g.teardown && chosen != tid {
+            g.current = chosen;
+            ctx.cv.notify_all();
+        }
+    }
+    while g.current != tid && !g.teardown {
+        g = wait(&ctx, g);
+    }
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    let child = g.threads.len();
+    g.threads.push(ThreadSt::new(Status::Starting));
+    let slot: Slot<T> = Arc::new(StdMutex::new(None));
+    let (c2, s2) = (ctx.clone(), Arc::clone(&slot));
+    let os = std::thread::Builder::new()
+        .name(format!("shim-t{child}"))
+        .spawn(move || thread_main(c2, child, f, s2))
+        .expect("spawn model OS thread");
+    g.os_handles.push(os);
+    // Wait for the child to park at its first yield point so that thread
+    // creation order (and thus object/thread ids) is deterministic.
+    while matches!(g.threads[child].status, Status::Starting) && !g.teardown {
+        g = wait(&ctx, g);
+    }
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    let step = g.steps;
+    let t = &mut g.threads[tid];
+    t.op_count += 1;
+    t.obs_hash = mix2(t.obs_hash, child as u64);
+    g.ops
+        .push(format!("step {step:>4}: t{tid} spawn -> t{child}"));
+    Ok((child, slot))
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+fn thread_main<T, F>(ctx: Arc<Ctx>, tid: usize, f: F, slot: Slot<T>)
+where
+    F: FnOnce() -> T,
+    T: Send,
+{
+    TLS.with(|t| *t.borrow_mut() = Some((Arc::clone(&ctx), tid)));
+    {
+        let mut g = lock(&ctx);
+        g.threads[tid].status = Status::Runnable;
+        ctx.cv.notify_all();
+        // Thread start is itself a schedulable operation: park until granted.
+        while g.current != tid && !g.teardown {
+            g = wait(&ctx, g);
+        }
+        if g.teardown {
+            g.threads[tid].status = Status::Finished;
+            ctx.cv.notify_all();
+            drop(g);
+            TLS.with(|t| *t.borrow_mut() = None);
+            return;
+        }
+        let step = g.steps;
+        g.threads[tid].op_count += 1;
+        g.ops.push(format!("step {step:>4}: t{tid} start"));
+    }
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    let mut g = lock(&ctx);
+    match r {
+        Ok(v) => {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+        }
+        Err(p) => {
+            if p.downcast_ref::<Abort>().is_none() {
+                let msg = payload_msg(p.as_ref());
+                fail(&ctx, &mut g, msg);
+            }
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(Err("model thread panicked".to_string()));
+        }
+    }
+    g.threads[tid].status = Status::Finished;
+    for t in g.threads.iter_mut() {
+        if t.status == Status::BlockedJoin(tid) {
+            t.status = Status::Runnable;
+        }
+    }
+    if g.current == tid && !g.teardown && !g.complete {
+        // Pass the token on (finishing is a free switch).
+        let chosen = decide(&ctx, &mut g, tid);
+        if !g.teardown && !g.complete && chosen != tid {
+            g.current = chosen;
+        }
+    }
+    ctx.cv.notify_all();
+    drop(g);
+    TLS.with(|t| *t.borrow_mut() = None);
+}
+
+/// Model-side join. Returns false when no explorer is active.
+pub(crate) fn model_join(target: usize) -> bool {
+    let Some((ctx, tid)) = tls() else {
+        return false;
+    };
+    if std::thread::panicking() {
+        return true;
+    }
+    let mut g = lock(&ctx);
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    // The join is a yield point.
+    if g.current == tid {
+        let chosen = decide(&ctx, &mut g, tid);
+        if !g.teardown && chosen != tid {
+            g.current = chosen;
+            ctx.cv.notify_all();
+        }
+    }
+    while g.current != tid && !g.teardown {
+        g = wait(&ctx, g);
+    }
+    if g.teardown {
+        drop(g);
+        abort();
+    }
+    while g.threads[target].status != Status::Finished {
+        g.threads[tid].status = Status::BlockedJoin(target);
+        let chosen = decide(&ctx, &mut g, tid);
+        if g.teardown {
+            drop(g);
+            abort();
+        }
+        if !g.complete && chosen != tid {
+            g.current = chosen;
+            ctx.cv.notify_all();
+        }
+        while g.current != tid && !g.teardown {
+            g = wait(&ctx, g);
+        }
+        if g.teardown {
+            drop(g);
+            abort();
+        }
+    }
+    let step = g.steps;
+    let t = &mut g.threads[tid];
+    t.op_count += 1;
+    t.obs_hash = mix2(t.obs_hash, target as u64 ^ 0xaa);
+    g.ops.push(format!("step {step:>4}: t{tid} join t{target}"));
+    true
+}
+
+/// The trail of scheduling decisions taken so far in the current execution.
+pub fn current_trail() -> Option<Vec<usize>> {
+    let (ctx, _) = tls()?;
+    let trail = lock(&ctx).trail.clone();
+    Some(trail)
+}
+
+// ---------------------------------------------------------------------------
+// Explorer driver
+// ---------------------------------------------------------------------------
+
+/// Exploration budgets and bounds.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// CHESS-style preemption bound per execution.
+    pub preemption_bound: u32,
+    /// Hard cap on the number of schedules to run; overridable with the
+    /// `SHIM_SYNC_MAX_SCHEDULES` environment variable.
+    pub max_schedules: u64,
+    /// Per-execution step bound (livelock guard).
+    pub max_steps: u64,
+    /// Wall-clock budget; overridable with `SHIM_SYNC_MAX_WALL_SECS`.
+    pub max_wall: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 1_000_000,
+            max_steps: 20_000,
+            max_wall: Duration::from_secs(300),
+        }
+    }
+}
+
+impl Config {
+    pub fn with_preemption_bound(pb: u32) -> Self {
+        Config {
+            preemption_bound: pb,
+            ..Config::default()
+        }
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of executions run.
+    pub schedules: u64,
+    /// True when the bounded schedule space was exhausted (every reachable
+    /// decision alternative within the preemption bound was explored or
+    /// soundly pruned); false when a budget cut the search short.
+    pub complete: bool,
+    /// Decision points whose alternatives were pruned by state hashing.
+    pub pruned: u64,
+    /// Deepest decision stack seen.
+    pub deepest: usize,
+}
+
+struct ExecOut {
+    frames: Vec<Frame>,
+    trail: Vec<usize>,
+    ops: Vec<String>,
+    violation: Option<String>,
+    visited: HashMap<u64, u32>,
+    pruned: u64,
+}
+
+fn run_one(
+    cfg: &Config,
+    forced: Vec<usize>,
+    visited: HashMap<u64, u32>,
+    record_frames: bool,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> ExecOut {
+    let ctx = Arc::new(Ctx {
+        st: StdMutex::new(RtState {
+            max_steps: cfg.max_steps,
+            current: 0,
+            threads: vec![ThreadSt::new(Status::Starting)],
+            mutex_owner: HashMap::new(),
+            objects: HashMap::new(),
+            ptr_ords: HashMap::new(),
+            next_obj_id: 0,
+            forced,
+            forced_pos: 0,
+            frames: Vec::new(),
+            trail: Vec::new(),
+            ops: Vec::new(),
+            steps: 0,
+            budget: cfg.preemption_bound,
+            teardown: false,
+            violation: None,
+            complete: false,
+            visited,
+            record_frames,
+            os_handles: Vec::new(),
+            pruned: 0,
+        }),
+        cv: Condvar::new(),
+    });
+    let slot: Slot<()> = Arc::new(StdMutex::new(None));
+    let (c2, s2) = (Arc::clone(&ctx), Arc::clone(&slot));
+    let os = std::thread::Builder::new()
+        .name("shim-t0".to_string())
+        .spawn(move || thread_main(c2, 0, move || f(), s2))
+        .expect("spawn model root thread");
+    {
+        lock(&ctx).os_handles.push(os);
+    }
+    let mut g = lock(&ctx);
+    loop {
+        let all_done = g.threads.iter().all(|t| t.status == Status::Finished);
+        if g.complete || (g.teardown && all_done) {
+            break;
+        }
+        g = wait(&ctx, g);
+    }
+    let handles = std::mem::take(&mut g.os_handles);
+    drop(g);
+    ctx.cv.notify_all();
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut g = lock(&ctx);
+    ExecOut {
+        frames: std::mem::take(&mut g.frames),
+        trail: std::mem::take(&mut g.trail),
+        ops: std::mem::take(&mut g.ops),
+        violation: g.violation.take(),
+        visited: std::mem::take(&mut g.visited),
+        pruned: g.pruned,
+    }
+}
+
+fn format_violation(v: &str, trail: &[usize], ops: &[String]) -> String {
+    format!(
+        "shim-sync schedule violation: {v}\n\
+         schedule (replay with shim_sync::replay): {trail:?}\n\
+         trace:\n  {}\n",
+        ops.join("\n  ")
+    )
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Explore every schedule of `f` within the preemption bound, panicking
+/// with a replayable trace on the first property violation (assertion
+/// failure, deadlock, or step-bound livelock) and returning a [`Report`]
+/// otherwise. The closure must be deterministic apart from scheduling.
+pub fn explore<F>(cfg: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let max_schedules = env_u64("SHIM_SYNC_MAX_SCHEDULES").unwrap_or(cfg.max_schedules);
+    let max_wall =
+        Duration::from_secs(env_u64("SHIM_SYNC_MAX_WALL_SECS").unwrap_or(cfg.max_wall.as_secs()));
+    let start = Instant::now();
+    let mut visited: HashMap<u64, u32> = HashMap::new();
+    let mut path: Vec<Frame> = Vec::new();
+    let mut schedules = 0u64;
+    let mut pruned = 0u64;
+    let mut deepest = 0usize;
+    loop {
+        let forced: Vec<usize> = path.iter().map(|fr| fr.chosen).collect();
+        let out = run_one(
+            &cfg,
+            forced,
+            std::mem::take(&mut visited),
+            true,
+            Arc::clone(&f),
+        );
+        visited = out.visited;
+        schedules += 1;
+        pruned += out.pruned;
+        if let Some(v) = out.violation {
+            panic!("{}", format_violation(&v, &out.trail, &out.ops));
+        }
+        path.extend(out.frames);
+        deepest = deepest.max(path.len());
+        let mut advanced = false;
+        while let Some(fr) = path.last_mut() {
+            if let Some(next) = fr.alts.pop() {
+                fr.chosen = next;
+                advanced = true;
+                break;
+            }
+            // Fully explored: record its state so later re-convergences can
+            // be pruned, then backtrack.
+            let (h, b) = (fr.state_hash, fr.budget);
+            let slot = visited.entry(h).or_insert(b);
+            *slot = (*slot).max(b);
+            path.pop();
+        }
+        if !advanced {
+            return Report {
+                schedules,
+                complete: true,
+                pruned,
+                deepest,
+            };
+        }
+        if schedules >= max_schedules || start.elapsed() >= max_wall {
+            return Report {
+                schedules,
+                complete: false,
+                pruned,
+                deepest,
+            };
+        }
+    }
+}
+
+/// Re-run `f` under a single forced schedule (as printed in a violation
+/// trace or captured via [`current_trail`]); panics with the trace if the
+/// schedule still violates a property.
+pub fn replay<F>(trail: &[usize], f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let out = run_one(
+        &Config::default(),
+        trail.to_vec(),
+        HashMap::new(),
+        false,
+        Arc::new(f),
+    );
+    if let Some(v) = out.violation {
+        panic!("{}", format_violation(&v, &out.trail, &out.ops));
+    }
+}

@@ -1,0 +1,332 @@
+//! Model synchronization primitives.
+//!
+//! Each type wraps the real `std` primitive for storage; under an active
+//! explorer every operation first passes through a yield point (see
+//! [`crate::rt`]), so the explorer controls the interleaving while the
+//! actual memory access stays an ordinary atomic operation. Outside an
+//! exploration (or while unwinding during teardown) the wrappers delegate
+//! straight to the inner primitive, so code instrumented with these types
+//! still runs correctly under plain threads.
+//!
+//! Orderings are accepted for API compatibility but the explorer only
+//! enumerates sequentially consistent interleavings; it does not model
+//! weak-memory reorderings.
+
+use crate::rt;
+pub use std::sync::atomic::Ordering;
+use std::sync::Mutex as StdMutex;
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $prim:ty, $tag:literal) => {
+        pub struct $name {
+            inner: $std,
+            id: u64,
+        }
+
+        impl $name {
+            pub fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                    id: rt::register_object(v as u64),
+                }
+            }
+
+            pub fn load(&self, o: Ordering) -> $prim {
+                let id = self.id;
+                rt::model_op(
+                    || self.inner.load(o),
+                    |r, _| (*r as u64, format!(concat!($tag, "#{} load -> {}"), id, r)),
+                )
+            }
+
+            pub fn store(&self, v: $prim, o: Ordering) {
+                let id = self.id;
+                rt::model_op(
+                    || self.inner.store(v, o),
+                    |_, st| {
+                        rt::set_object(st, id, v as u64);
+                        (v as u64, format!(concat!($tag, "#{} store {}"), id, v))
+                    },
+                )
+            }
+
+            pub fn swap(&self, v: $prim, o: Ordering) -> $prim {
+                let id = self.id;
+                rt::model_op(
+                    || self.inner.swap(v, o),
+                    |r, st| {
+                        rt::set_object(st, id, v as u64);
+                        (
+                            *r as u64,
+                            format!(concat!($tag, "#{} swap {} -> {}"), id, v, r),
+                        )
+                    },
+                )
+            }
+
+            pub fn fetch_add(&self, v: $prim, o: Ordering) -> $prim {
+                let id = self.id;
+                rt::model_op(
+                    || self.inner.fetch_add(v, o),
+                    |r, st| {
+                        rt::set_object(st, id, r.wrapping_add(v) as u64);
+                        (
+                            *r as u64,
+                            format!(concat!($tag, "#{} fetch_add {} -> {}"), id, v, r),
+                        )
+                    },
+                )
+            }
+
+            pub fn fetch_sub(&self, v: $prim, o: Ordering) -> $prim {
+                let id = self.id;
+                rt::model_op(
+                    || self.inner.fetch_sub(v, o),
+                    |r, st| {
+                        rt::set_object(st, id, r.wrapping_sub(v) as u64);
+                        (
+                            *r as u64,
+                            format!(concat!($tag, "#{} fetch_sub {} -> {}"), id, v, r),
+                        )
+                    },
+                )
+            }
+
+            pub fn compare_exchange(
+                &self,
+                cur: $prim,
+                new: $prim,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$prim, $prim> {
+                let id = self.id;
+                rt::model_op(
+                    || self.inner.compare_exchange(cur, new, ok, err),
+                    |r, st| {
+                        if r.is_ok() {
+                            rt::set_object(st, id, new as u64);
+                        }
+                        let obs = match r {
+                            Ok(v) | Err(v) => *v as u64,
+                        };
+                        (
+                            obs,
+                            format!(concat!($tag, "#{} cas {}->{} = {:?}"), id, cur, new, r),
+                        )
+                    },
+                )
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $prim,
+                new: $prim,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$prim, $prim> {
+                // The model never fails spuriously.
+                self.compare_exchange(cur, new, ok, err)
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                rt::unregister_object(self.id);
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name)).field(&self.inner).finish()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8, "AtomicU8");
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32, "AtomicU32");
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64, "AtomicU64");
+int_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64, "AtomicI64");
+
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+    id: u64,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+            id: rt::register_object(u64::from(v)),
+        }
+    }
+
+    pub fn load(&self, o: Ordering) -> bool {
+        let id = self.id;
+        rt::model_op(
+            || self.inner.load(o),
+            |r, _| (u64::from(*r), format!("AtomicBool#{id} load -> {r}")),
+        )
+    }
+
+    pub fn store(&self, v: bool, o: Ordering) {
+        let id = self.id;
+        rt::model_op(
+            || self.inner.store(v, o),
+            |_, st| {
+                rt::set_object(st, id, u64::from(v));
+                (u64::from(v), format!("AtomicBool#{id} store {v}"))
+            },
+        )
+    }
+
+    pub fn swap(&self, v: bool, o: Ordering) -> bool {
+        let id = self.id;
+        rt::model_op(
+            || self.inner.swap(v, o),
+            |r, st| {
+                rt::set_object(st, id, u64::from(v));
+                (u64::from(*r), format!("AtomicBool#{id} swap {v} -> {r}"))
+            },
+        )
+    }
+}
+
+impl Drop for AtomicBool {
+    fn drop(&mut self) {
+        rt::unregister_object(self.id);
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").field(&self.inner).finish()
+    }
+}
+
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+    id: u64,
+}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+            id: rt::register_ptr_object(p as usize),
+        }
+    }
+
+    pub fn load(&self, o: Ordering) -> *mut T {
+        let id = self.id;
+        rt::model_op(
+            || self.inner.load(o),
+            |r, st| {
+                let ord = rt::ptr_ord(st, *r as usize);
+                (ord, format!("AtomicPtr#{id} load -> ptr:{ord}"))
+            },
+        )
+    }
+
+    pub fn store(&self, p: *mut T, o: Ordering) {
+        let id = self.id;
+        rt::model_op(
+            || self.inner.store(p, o),
+            |_, st| {
+                let ord = rt::ptr_ord(st, p as usize);
+                rt::set_object(st, id, ord);
+                (ord, format!("AtomicPtr#{id} store ptr:{ord}"))
+            },
+        )
+    }
+}
+
+impl<T> Drop for AtomicPtr<T> {
+    fn drop(&mut self) {
+        rt::unregister_object(self.id);
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr").field(&self.inner).finish()
+    }
+}
+
+/// A memory fence is a pure yield point under the explorer (interleavings
+/// are already sequentially consistent) and a real fence otherwise.
+pub fn fence(o: Ordering) {
+    rt::model_op(
+        || std::sync::atomic::fence(o),
+        |_, _| (0, format!("fence({o:?})")),
+    );
+}
+
+/// Model mutex with the `parking_lot` API shape (`lock()` returns the
+/// guard directly). Under the explorer, acquisition order is a scheduling
+/// decision and contended threads are blocked, not spinning.
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Self {
+            id: rt::register_mutex(),
+            inner: StdMutex::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let modeled = self.id != 0 && rt::model_lock(self.id);
+        MutexGuard {
+            id: if modeled { self.id } else { 0 },
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        rt::unregister_mutex(self.id);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            rt::model_unlock(self.id);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Model threads: `spawn`/`join` with the `std::thread` API shape. Under
+//! an active explorer, spawned closures become model threads whose every
+//! instrumented operation is a scheduling decision; otherwise they are
+//! plain OS threads.
+
+use crate::rt;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { tid: usize, slot: rt::Slot<T> },
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::model_spawn(f) {
+        Ok((tid, slot)) => JoinHandle(Inner::Model { tid, slot }),
+        Err(f) => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                rt::model_join(tid);
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(Ok(v)) => Ok(v),
+                    Some(Err(e)) => Err(Box::new(e)),
+                    None => Err(Box::new("model thread produced no result".to_string())),
+                }
+            }
+        }
+    }
+}
