@@ -1,0 +1,252 @@
+//! Copy-on-steal ablation: what the lazy taskprivate-workspace protocol
+//! saves over eager per-spawn cloning, and what the victim-selection
+//! policies do to the steal path.
+//!
+//! Three systems on the Figure 1 tree and the two N-queens variants:
+//! AdaptiveTC with copy-on-steal (the default), AdaptiveTC pinned to the
+//! eager-copy policy, and the faithful Cilk baseline (which ignores the
+//! copy-on-steal request by design). Expected shape: under copy-on-steal
+//! nearly every spawn elides its clone (`copies_saved` tracks the spawn
+//! count; the only clones left are thief materialisations and region
+//! seals), while the task/fake/special structure matches the eager run.
+//!
+//! Also sweeps the steal-path victim policies (uniform, last-victim
+//! affinity, best-of-two occupancy) under copy-on-steal.
+//!
+//! Writes the measured counters to `BENCH_pr3.json` for CI trending.
+//! Setting `ABLATION_SMOKE=1` shrinks the N-queens boards to 8×8 for the
+//! CI smoke job.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin ablation_copysteal
+//! ```
+
+use adaptivetc_bench::PaperBench;
+use adaptivetc_core::{Config, CutoffPolicy, RunReport, VictimPolicy, WorkspacePolicy};
+use adaptivetc_runtime::Scheduler;
+use adaptivetc_workloads::fig1::Fig1Tree;
+use adaptivetc_workloads::nqueens::{NqueensArray, NqueensCompute};
+
+/// One measured cell, flattened for the table and the JSON dump.
+struct Row {
+    bench: &'static str,
+    scheduler: &'static str,
+    workspace: &'static str,
+    victim: &'static str,
+    threads: usize,
+    tasks: u64,
+    fakes: u64,
+    specials: u64,
+    copies: u64,
+    copies_saved: u64,
+    pushes: u64,
+    steals: u64,
+    wall_ns: u64,
+}
+
+impl Row {
+    fn from_report(
+        bench: &'static str,
+        scheduler: &'static str,
+        cfg: &Config,
+        threads: usize,
+        report: &RunReport,
+    ) -> Self {
+        let s = &report.stats;
+        Row {
+            bench,
+            scheduler,
+            workspace: cfg.workspace.name(),
+            victim: cfg.victim.name(),
+            threads,
+            tasks: s.tasks_created,
+            fakes: s.fake_tasks,
+            specials: s.special_tasks,
+            copies: s.copies,
+            copies_saved: s.workspace_copies_saved,
+            pushes: s.deque_pushes,
+            steals: s.steals_ok,
+            wall_ns: report.wall_ns,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"scheduler\":\"{}\",\"workspace\":\"{}\",\
+             \"victim\":\"{}\",\"threads\":{},\"tasks\":{},\"fakes\":{},\
+             \"specials\":{},\"copies\":{},\"copies_saved\":{},\"pushes\":{},\
+             \"steals\":{},\"wall_ns\":{}}}",
+            self.bench,
+            self.scheduler,
+            self.workspace,
+            self.victim,
+            self.threads,
+            self.tasks,
+            self.fakes,
+            self.specials,
+            self.copies,
+            self.copies_saved,
+            self.pushes,
+            self.steals,
+            self.wall_ns
+        )
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<20} {:<10} {:<26} {:>2}t {:>9} {:>9} {:>7} {:>9} {:>11} {:>9} {:>7} {:>9.2}",
+            self.bench,
+            self.scheduler,
+            format!("{}/{}", self.workspace, self.victim),
+            self.threads,
+            self.tasks,
+            self.fakes,
+            self.specials,
+            self.copies,
+            self.copies_saved,
+            self.pushes,
+            self.steals,
+            self.wall_ns as f64 / 1e6
+        );
+    }
+}
+
+/// (display name, runner) for the three ablation workloads.
+type Runner = Box<dyn Fn(Scheduler, &Config) -> (u64, RunReport)>;
+
+fn workloads() -> Vec<(&'static str, CutoffPolicy, Runner)> {
+    let smoke = std::env::var_os("ABLATION_SMOKE").is_some();
+    let mut v: Vec<(&'static str, CutoffPolicy, Runner)> = vec![(
+        "fig1",
+        // The figure's cut-off of 2 on its 49-node tree.
+        CutoffPolicy::Fixed(2),
+        Box::new(|s: Scheduler, cfg: &Config| s.run(&Fig1Tree::new(), cfg).expect("fig1 runs"))
+            as Runner,
+    )];
+    if smoke {
+        v.push((
+            "nqueen-array(8)",
+            CutoffPolicy::Auto,
+            Box::new(|s: Scheduler, cfg: &Config| s.run(&NqueensArray::new(8), cfg).expect("runs")),
+        ));
+        v.push((
+            "nqueen-compute(8)",
+            CutoffPolicy::Auto,
+            Box::new(|s: Scheduler, cfg: &Config| {
+                s.run(&NqueensCompute::new(8), cfg).expect("runs")
+            }),
+        ));
+    } else {
+        v.push((
+            "nqueen-array(11)",
+            CutoffPolicy::Auto,
+            Box::new(|s: Scheduler, cfg: &Config| {
+                PaperBench::NqueenArray.run_real(s, cfg).expect("runs")
+            }),
+        ));
+        v.push((
+            "nqueen-compute(11)",
+            CutoffPolicy::Auto,
+            Box::new(|s: Scheduler, cfg: &Config| {
+                PaperBench::NqueenCompute.run_real(s, cfg).expect("runs")
+            }),
+        ));
+    }
+    v
+}
+
+fn main() {
+    println!("Copy-on-steal ablation (real threaded runtime, seed 7)\n");
+    println!(
+        "{:<20} {:<10} {:<26} {:>3} {:>9} {:>9} {:>7} {:>9} {:>11} {:>9} {:>7} {:>9}",
+        "benchmark",
+        "scheduler",
+        "ws/victim",
+        "thr",
+        "tasks",
+        "fakes",
+        "special",
+        "copies",
+        "saved",
+        "pushes",
+        "steals",
+        "wall ms"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut criterion_ok = true;
+
+    for (name, cutoff, run) in workloads() {
+        for threads in [1usize, 4] {
+            for (scheduler, workspace) in [
+                (Scheduler::AdaptiveTc, WorkspacePolicy::CopyOnSteal),
+                (Scheduler::AdaptiveTc, WorkspacePolicy::EagerCopy),
+                // The faithful baseline keeps eager semantics even when
+                // copy-on-steal is requested.
+                (Scheduler::Cilk, WorkspacePolicy::CopyOnSteal),
+            ] {
+                let cfg = Config::new(threads)
+                    .cutoff(cutoff)
+                    .workspace(workspace)
+                    .seed(7);
+                let (_, report) = run(scheduler, &cfg);
+                let row = Row::from_report(name, scheduler.name(), &cfg, threads, &report);
+                if scheduler == Scheduler::AdaptiveTc
+                    && workspace == WorkspacePolicy::CopyOnSteal
+                    && threads >= 4
+                    && row.pushes > 0
+                {
+                    // The PR's acceptance shape: nearly every pushed task
+                    // elided its eager clone.
+                    let ok = row.copies_saved as f64 > 0.9 * row.pushes as f64;
+                    criterion_ok &= ok;
+                    if !ok {
+                        println!(
+                            "!! {name}: copies_saved {} <= 0.9 x pushes {}",
+                            row.copies_saved, row.pushes
+                        );
+                    }
+                }
+                if scheduler == Scheduler::Cilk {
+                    assert_eq!(
+                        report.stats.workspace_copies_saved, 0,
+                        "the Cilk baseline must not elide clones"
+                    );
+                    assert_eq!(
+                        report.stats.allocations, report.stats.copies,
+                        "the Cilk baseline allocates per spawn"
+                    );
+                }
+                row.print();
+                rows.push(row);
+            }
+        }
+    }
+
+    println!("\nVictim-policy sweep (AdaptiveTC, copy-on-steal, 4 threads):\n");
+    for (name, cutoff, run) in workloads() {
+        for victim in VictimPolicy::ALL {
+            let cfg = Config::new(4)
+                .cutoff(cutoff)
+                .workspace(WorkspacePolicy::CopyOnSteal)
+                .victim(victim)
+                .seed(7);
+            let (_, report) = run(Scheduler::AdaptiveTc, &cfg);
+            let row = Row::from_report(name, "adaptivetc", &cfg, 4, &report);
+            row.print();
+            rows.push(row);
+        }
+    }
+
+    let json = format!(
+        "[\n  {}\n]\n",
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    std::fs::write("BENCH_pr3.json", json).expect("write BENCH_pr3.json");
+    println!("\nwrote {} rows to BENCH_pr3.json", rows.len());
+    println!(
+        "copy-on-steal acceptance (saved > 0.9 x pushes at 4 threads): {}",
+        if criterion_ok { "PASS" } else { "FAIL" }
+    );
+    assert!(criterion_ok, "copy-on-steal elision criterion not met");
+}

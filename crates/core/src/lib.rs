@@ -65,7 +65,7 @@ pub mod serial;
 pub mod stats;
 pub mod treeinfo;
 
-pub use config::{Config, CutoffPolicy, DequeBackend};
+pub use config::{Config, CutoffPolicy, DequeBackend, VictimPolicy, WorkspacePolicy};
 pub use error::{ConfigError, SchedulerError};
 pub use problem::{Expansion, Problem};
 pub use reduce::Reduce;

@@ -107,6 +107,11 @@ pub struct RunStats {
     /// Workspace allocations (Cilk-SYNCHED reuses buffers: copies stay,
     /// allocations drop).
     pub allocations: u64,
+    /// Spawns that would have paid an eager workspace clone but did not,
+    /// because copy-on-steal let the owner reuse the in-place workspace.
+    /// Thieves still pay a clone (counted in `copies`) when they actually
+    /// steal such a task.
+    pub workspace_copies_saved: u64,
     /// Frame shells recycled from a worker's frame pool instead of being
     /// allocated fresh.
     pub frame_reuse: u64,
@@ -147,6 +152,7 @@ impl RunStats {
         self.copies += other.copies;
         self.copy_bytes += other.copy_bytes;
         self.allocations += other.allocations;
+        self.workspace_copies_saved += other.workspace_copies_saved;
         self.frame_reuse += other.frame_reuse;
         self.state_reuse += other.state_reuse;
         self.steal_backoffs += other.steal_backoffs;

@@ -26,6 +26,16 @@
 //! race where the special entry was retired but its child was reclaimed
 //! by the owner first; the runtime treats `ChildStolen` as "do not reuse
 //! the handle", which is safe in both cases.
+//!
+//! Backends carry opaque entries and know nothing about taskprivate
+//! workspaces. Under the runtime's copy-on-steal policy a stolen entry
+//! may reference a workspace the owner is still mutating in place; the
+//! *engine's* steal path materialises an isolated clone via the frame's
+//! deposit handshake before the stolen frame runs, so the same protocol
+//! holds on every backend with no per-backend code (property (1) is what
+//! makes the handshake sound: exactly one of {owner pop, thief steal}
+//! claims the entry, and the loser's side of the pop/steal race is the
+//! deposit trigger).
 
 use crate::{ChaseLevDeque, ClSteal, Overflow, PoolDeque, PopSpecial, StealOutcome, TheDeque};
 

@@ -47,18 +47,51 @@
 //!   allocation (`RunStats::frame_reuse`). Frames that complete
 //!   asynchronously (delivered by a thief's last child) bypass the pool and
 //!   simply drop.
+//!
+//! # Copy-on-steal workspaces
+//!
+//! Under [`WorkspacePolicy::CopyOnSteal`] (the default for every mode
+//! except the faithful `Cilk`/`CilkSynched` baselines) a spawn does **not**
+//! clone the taskprivate workspace. The worker executes children *in
+//! place* — `apply`, recurse, `undo` on one live workspace, exactly like
+//! the sequence version — and the pushed frame merely borrows it: the
+//! frame's `inner.state` stays `None` and the owner records the frame on a
+//! **spine** alongside a mark into a **trail** of every choice currently
+//! applied to the live workspace. An owner pop reuses the workspace
+//! directly (`RunStats::workspace_copies_saved`); only when a thief
+//! actually steals such a frame is an isolated clone **materialised**:
+//!
+//! 1. the thief flags the frame (`ws_requested`) and raises the owner's
+//!    padded `ws_hint`, then spins;
+//! 2. the owner, at its poll points (every spawn iteration, every check
+//!    poll, sequence entry, the special task's sync wait), clones the live
+//!    workspace and unwinds the trail suffix past the frame's mark, which
+//!    reconstructs the frame-pristine workspace, and deposits it
+//!    (`ws_ready`);
+//! 3. as a backstop, a pop conflict — the owner discovering the theft, at
+//!    which point the live workspace *is* frame-pristine — deposits
+//!    unconditionally before unwinding, so a waiting thief never starves.
+//!
+//! The thief then runs the stolen continuation in place on the deposit, so
+//! stolen-task semantics are bit-identical to the eager scheme while the
+//! ~never-stolen majority of spawns pay no copy at all. Special-task
+//! children still clone eagerly (they run detached from the live
+//! workspace), each such clone seeding a fresh in-place region.
 
 use crate::frame::{deliver, Frame, OutCell, Parent};
 use crate::fsm;
 use crate::pool::Pool;
 use adaptivetc_core::{
-    Config, DequeBackend, Expansion, Problem, Reduce, RunReport, RunStats, XorShift64,
+    Config, DequeBackend, Expansion, Problem, Reduce, RunReport, RunStats, VictimPolicy,
+    WorkspacePolicy, XorShift64,
 };
 use adaptivetc_deque::{
     ChaseLevDeque, NeedTask, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque,
 };
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Objects each worker's pools retain at most (dead workspace buffers and
 /// scrubbed frames). Bounds the steady-state footprint while covering the
@@ -68,6 +101,10 @@ const POOL_CAP: usize = 128;
 /// Failed steals after which a spinning thief starts yielding the CPU
 /// (2^6 = 64 spin-hint rounds of exponential back-off first).
 const BACKOFF_SPIN_LIMIT: u32 = 6;
+
+/// How long a special task's sync wait sleeps between servicing rounds of
+/// pending copy-on-steal workspace requests.
+const WS_SERVICE_WAIT: Duration = Duration::from_micros(50);
 
 /// Which scheduling policy the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,10 +137,23 @@ pub(crate) enum Regime {
 struct Shared<'p, P: Problem, D> {
     problem: &'p P,
     deques: Vec<D>,
-    signals: Vec<NeedTask>,
+    /// Per-worker `need_task` signals. Padded: a thief hammering one
+    /// worker's signal must not invalidate its neighbours' lines.
+    signals: Vec<CachePadded<NeedTask>>,
+    /// Relaxed per-worker d-e-que occupancy hints, published by the owner
+    /// after every push/pop so `VictimPolicy::BestOfTwo` thieves can
+    /// compare victims without touching the deques' hot head/tail lines.
+    occupancy: Vec<CachePadded<AtomicUsize>>,
+    /// Per-worker copy-on-steal doorbells: a thief waiting for a workspace
+    /// deposit raises the owner's hint; the owner checks it at poll points.
+    ws_hints: Vec<CachePadded<AtomicBool>>,
     root: Arc<OutCell<P::Out>>,
     mode: Mode,
     cutoff: u32,
+    victim: VictimPolicy,
+    /// Copy-on-steal active (policy says so and the mode is not a
+    /// faithful eager-copy Cilk baseline).
+    cos: bool,
     timing: bool,
 }
 
@@ -119,6 +169,18 @@ fn lap(field: &mut u64, start: Option<Instant>) {
     }
 }
 
+/// One in-place frame on a worker's copy-on-steal spine.
+struct SpineSlot<P: Problem> {
+    frame: Arc<Frame<P>>,
+    /// Trail length at frame entry: undoing `trail[mark..]` on a clone of
+    /// the live workspace reconstructs this frame's pristine workspace.
+    mark: usize,
+    /// Whether the frame's deque entry for the child currently executing
+    /// is outstanding (pushed and not yet popped back). Only such frames
+    /// can be stolen, so only they need deposits when the region is sealed.
+    live_entry: bool,
+}
+
 struct Worker<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> {
     shared: &'s Shared<'p, P, D>,
     id: usize,
@@ -132,6 +194,17 @@ struct Worker<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> {
     /// Sink parent installed into pooled frames so they hold no live
     /// references while parked.
     dummy: Arc<OutCell<P::Out>>,
+    /// Copy-on-steal bookkeeping: every choice currently applied to the
+    /// live in-place workspace, in application order.
+    trail: Vec<P::Choice>,
+    /// The in-place frames whose continuations are on this worker's call
+    /// stack, oldest first.
+    spine: Vec<SpineSlot<P>>,
+    /// Start of the *current* in-place region on the spine. Detached
+    /// workspaces (special-task children, materialised thief clones) run
+    /// as nested regions; only current-region frames can be serviced from
+    /// the current live workspace.
+    region_base: usize,
 }
 
 impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
@@ -144,6 +217,9 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             freelist: Pool::new(POOL_CAP),
             frames: Pool::new(POOL_CAP),
             dummy: OutCell::new(),
+            trail: Vec::new(),
+            spine: Vec::new(),
+            region_base: 0,
         }
     }
 
@@ -160,6 +236,22 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     #[inline]
     fn my_signal(&self) -> &NeedTask {
         &self.shared.signals[self.id]
+    }
+
+    #[inline]
+    fn my_ws_hint(&self) -> &AtomicBool {
+        &self.shared.ws_hints[self.id]
+    }
+
+    #[inline]
+    fn cos(&self) -> bool {
+        self.shared.cos
+    }
+
+    /// Publish this worker's d-e-que occupancy for `BestOfTwo` thieves.
+    #[inline]
+    fn publish_occupancy(&self) {
+        self.shared.occupancy[self.id].store(self.my_deque().len(), Ordering::Relaxed);
     }
 
     /// Does this mode recycle workspace buffers? `Cilk` stays
@@ -212,12 +304,18 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         logical: u32,
         depth: u32,
     ) -> Arc<Frame<P>> {
-        match self.frames.take() {
+        let arc = match self.frames.take() {
             Some(mut arc) => {
                 let f = Arc::get_mut(&mut arc).expect("pooled frames hold the only reference");
                 f.parent = parent;
                 f.depth = depth;
                 f.logical = logical;
+                // New incarnation of the shell: any thief still observing
+                // the old generation across a steal handshake is a bug
+                // (checked in debug builds on the thief side).
+                f.generation.fetch_add(1, Ordering::Relaxed);
+                f.ws_requested.store(false, Ordering::Relaxed);
+                f.ws_ready.store(false, Ordering::Relaxed);
                 let inner = f.inner.get_mut();
                 inner.state = state;
                 inner.choices = choices;
@@ -228,7 +326,9 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 arc
             }
             None => Frame::new(parent, state, choices, logical, depth),
-        }
+        };
+        arc.owner.store(self.id, Ordering::Release);
+        arc
     }
 
     /// Park a completed frame for reuse if this worker holds the only
@@ -263,6 +363,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             Ok(()) => {
                 self.stats.deque_pushes += 1;
                 self.stats.deque_peak = self.stats.deque_peak.max(self.my_deque().len() as u64);
+                self.publish_occupancy();
                 true
             }
             Err(_) => {
@@ -371,11 +472,13 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 match self.my_deque().pop() {
                     Some(_) => {
                         self.stats.deque_pops += 1;
+                        self.publish_occupancy();
                     }
                     None => {
                         // Continuation stolen: a thief now runs this frame's
                         // remaining children; unwind to the steal loop.
                         self.stats.pop_conflicts += 1;
+                        self.publish_occupancy();
                         return;
                     }
                 }
@@ -390,18 +493,270 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         }
     }
 
-    /// The sequence version: plain recursion, no tasks, no copies, no polls.
+    /// Service pending copy-on-steal workspace requests for frames of the
+    /// *current* in-place region. `live` must be exactly the region's live
+    /// workspace, consistent with the trail (called between an apply/undo
+    /// pair, never mid-operation). Requests against frames of outer,
+    /// paused regions stay pending — their thieves keep re-raising the
+    /// hint and are guaranteed a deposit at the owner's pop conflict at
+    /// the latest.
+    fn service_ws(&mut self, live: &P::State) {
+        if !self.my_ws_hint().swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let spine = std::mem::take(&mut self.spine);
+        for slot in &spine[self.region_base..] {
+            if slot.frame.ws_requested.load(Ordering::Acquire) {
+                let snap = self.materialise(live, slot.mark);
+                slot.frame.deposit_ws(snap);
+            }
+        }
+        self.spine = spine;
+    }
+
+    /// Materialise a frame-pristine workspace: clone the live one and
+    /// unwind the trail suffix applied since frame entry.
+    fn materialise(&mut self, live: &P::State, mark: usize) -> P::State {
+        let mut snap = self.clone_state(live);
+        for &c in self.trail[mark..].iter().rev() {
+            self.problem().undo(&mut snap, c);
+        }
+        snap
+    }
+
+    /// Publish deposits for *every* stealable entry of the current region.
+    ///
+    /// Called before the region is paused by a special section: while the
+    /// special children run as nested regions, this region's live workspace
+    /// is unreachable, so a thief stealing one of these entries could not
+    /// be serviced and would spin for the whole pause — long enough to
+    /// close a wait cycle across owners that are themselves blocked at
+    /// special syncs. Sealing up front keeps every possible request
+    /// targeted at a *current* region, which its owner always services.
+    fn seal_region(&mut self, live: &P::State) {
+        let spine = std::mem::take(&mut self.spine);
+        for slot in &spine[self.region_base..] {
+            if slot.live_entry && !slot.frame.ws_ready.load(Ordering::Acquire) {
+                let snap = self.materialise(live, slot.mark);
+                slot.frame.deposit_ws(snap);
+            }
+        }
+        self.spine = spine;
+    }
+
+    /// Run a node on an *owned* workspace as a fresh in-place region (the
+    /// root task, a special-task child, or any other detached workspace).
+    /// The buffer is recycled when the region completes or unwinds.
+    fn run_region(
+        &mut self,
+        mut state: P::State,
+        logical: u32,
+        tdepth: u32,
+        parent: Parent<P>,
+        regime: Regime,
+    ) {
+        let saved_base = self.region_base;
+        self.region_base = self.spine.len();
+        let trail_mark = self.trail.len();
+        self.exec_node_inplace(&mut state, logical, tdepth, parent, regime);
+        debug_assert_eq!(
+            self.spine.len(),
+            self.region_base,
+            "region left spine entries"
+        );
+        debug_assert_eq!(self.trail.len(), trail_mark, "region left trail entries");
+        self.region_base = saved_base;
+        self.recycle(state);
+    }
+
+    /// Copy-on-steal counterpart of [`Worker::exec_node`]: execute a node
+    /// on the borrowed live workspace (choice already applied by the
+    /// caller). On return — normal completion *or* theft-driven unwind —
+    /// the workspace is restored to its value at entry.
+    fn exec_node_inplace(
+        &mut self,
+        state: &mut P::State,
+        logical: u32,
+        tdepth: u32,
+        parent: Parent<P>,
+        regime: Regime,
+    ) {
+        self.stats.nodes += 1;
+        match self.problem().expand(state, logical) {
+            Expansion::Leaf(out) => deliver(&parent, out),
+            Expansion::Children(choices) => {
+                if self.task_mode(tdepth, regime) {
+                    let frame = self.make_frame(parent, None, choices, logical, tdepth);
+                    self.frame_loop_inplace(frame, state, regime);
+                } else {
+                    let out = match (self.shared.mode, regime) {
+                        (Mode::CutoffSequence, _) => self.sequence(state, logical, choices),
+                        (Mode::CutoffCopy, _) => self.sequence_copy(state, logical, choices),
+                        (Mode::Adaptive, Regime::Fast) => self.check(state, logical, choices),
+                        (Mode::Adaptive, Regime::Fast2) => self.sequence(state, logical, choices),
+                        (Mode::Cilk | Mode::CilkSynched, _) => {
+                            unreachable!("Cilk modes never run copy-on-steal")
+                        }
+                    };
+                    deliver(&parent, out);
+                }
+            }
+        }
+    }
+
+    /// Copy-on-steal counterpart of [`Worker::frame_loop`]: spawn each
+    /// remaining child as a task *without* cloning the workspace — apply
+    /// the choice to the live workspace, dive in, undo on return. A pop
+    /// conflict deposits the (now frame-pristine) workspace for the thief
+    /// before unwinding.
+    fn frame_loop_inplace(&mut self, frame: Arc<Frame<P>>, state: &mut P::State, regime: Regime) {
+        frame.owner.store(self.id, Ordering::Release);
+        self.spine.push(SpineSlot {
+            frame: Arc::clone(&frame),
+            mark: self.trail.len(),
+            live_entry: false,
+        });
+        loop {
+            self.service_ws(state);
+            let next = {
+                let mut g = frame.inner.lock();
+                if g.next >= g.choices.len() {
+                    None
+                } else {
+                    let c = g.choices[g.next];
+                    g.next += 1;
+                    g.outstanding += 1;
+                    // Last-spawn elision, as in the eager loop.
+                    Some((c, g.next < g.choices.len()))
+                }
+            };
+            let Some((choice, stealable)) = next else {
+                break;
+            };
+            self.problem().apply(state, choice);
+            self.trail.push(choice);
+            self.stats.tasks_created += 1;
+            // The spawn that eager copying would have paid a clone for.
+            self.stats.workspace_copies_saved += 1;
+            let pushed = stealable && self.push_entry(Arc::clone(&frame), false);
+            if let Some(slot) = self.spine.last_mut() {
+                slot.live_entry = pushed;
+            }
+            self.exec_node_inplace(
+                state,
+                frame.logical + 1,
+                frame.depth + 1,
+                Parent::Frame(Arc::clone(&frame)),
+                regime,
+            );
+            self.problem().undo(state, choice);
+            self.trail.pop();
+            if pushed {
+                match self.my_deque().pop() {
+                    Some(_) => {
+                        self.stats.deque_pops += 1;
+                        self.publish_occupancy();
+                        if let Some(slot) = self.spine.last_mut() {
+                            slot.live_entry = false;
+                        }
+                    }
+                    None => {
+                        // Continuation stolen. The live workspace is
+                        // frame-pristine right now (the child's choice was
+                        // just undone): deposit a clone for the thief
+                        // unless a seal or service round already did.
+                        self.stats.pop_conflicts += 1;
+                        self.publish_occupancy();
+                        if !frame.ws_ready.load(Ordering::Acquire) {
+                            let snap = self.clone_state(state);
+                            frame.deposit_ws(snap);
+                        }
+                        self.spine.pop();
+                        return;
+                    }
+                }
+            }
+        }
+        self.spine.pop();
+        if let Some(out) = frame.finish_continuation() {
+            let parent = frame.parent.clone();
+            self.retire_frame(frame);
+            deliver(&parent, out);
+        }
+    }
+
+    /// Run a stolen continuation (the slow version). Under copy-on-steal
+    /// the thief first obtains an isolated workspace: it takes a deposit if
+    /// one is already published, otherwise it requests one from the owner
+    /// and spins — re-raising the owner's doorbell periodically, since the
+    /// owner may consume a hint while a different region is current — and
+    /// then runs the continuation in place on the materialised clone.
+    fn run_stolen(&mut self, frame: Arc<Frame<P>>) {
+        if !self.cos() {
+            self.frame_loop(frame, Regime::Fast);
+            return;
+        }
+        #[cfg(debug_assertions)]
+        let generation = frame.generation.load(Ordering::Acquire);
+        let state = match frame.try_take_ws() {
+            Some(s) => s,
+            None => {
+                frame.ws_requested.store(true, Ordering::Release);
+                self.shared.ws_hints[frame.owner.load(Ordering::Acquire)]
+                    .store(true, Ordering::Release);
+                let mut spins: u32 = 0;
+                loop {
+                    if let Some(s) = frame.try_take_ws() {
+                        break s;
+                    }
+                    spins = spins.wrapping_add(1);
+                    if spins & 0x3F == 0 {
+                        self.shared.ws_hints[frame.owner.load(Ordering::Acquire)]
+                            .store(true, Ordering::Release);
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        };
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            frame.generation.load(Ordering::Acquire),
+            generation,
+            "frame shell recycled during a steal handshake"
+        );
+        let saved_base = self.region_base;
+        self.region_base = self.spine.len();
+        let mut ws = state;
+        self.frame_loop_inplace(frame, &mut ws, Regime::Fast);
+        self.region_base = saved_base;
+        self.recycle(ws);
+    }
+
+    /// The sequence version: plain recursion, no tasks, no copies, no polls
+    /// (under copy-on-steal it still services workspace requests once per
+    /// node, so thieves waiting on ancestor frames are fed promptly).
     fn sequence(&mut self, state: &mut P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
+        if self.cos() {
+            self.service_ws(state);
+        }
         self.stats.fake_tasks += 1;
         let mut acc = P::Out::identity();
         for c in choices {
             self.problem().apply(state, c);
+            if self.cos() {
+                self.trail.push(c);
+            }
             self.stats.nodes += 1;
             match self.problem().expand(state, logical + 1) {
                 Expansion::Leaf(out) => acc.combine(out),
                 Expansion::Children(cs) => acc.combine(self.sequence(state, logical + 1, cs)),
             }
             self.problem().undo(state, c);
+            if self.cos() {
+                self.trail.pop();
+            }
         }
         acc
     }
@@ -431,17 +786,27 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     /// at every depth).
     fn check(&mut self, state: &mut P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
         self.stats.polls += 1;
+        if self.cos() {
+            // The need_task poll is also the copy-on-steal service point.
+            self.service_ws(state);
+        }
         if fsm::after_poll(self.my_signal().needs_task()) == fsm::Version::Check {
             self.stats.fake_tasks += 1;
             let mut acc = P::Out::identity();
             for c in choices {
                 self.problem().apply(state, c);
+                if self.cos() {
+                    self.trail.push(c);
+                }
                 self.stats.nodes += 1;
                 match self.problem().expand(state, logical + 1) {
                     Expansion::Leaf(out) => acc.combine(out),
                     Expansion::Children(cs) => acc.combine(self.check(state, logical + 1, cs)),
                 }
                 self.problem().undo(state, c);
+                if self.cos() {
+                    self.trail.pop();
+                }
             }
             acc
         } else {
@@ -460,6 +825,9 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     ) -> P::Out {
         self.stats.special_tasks += 1;
         self.my_signal().acknowledge();
+        if self.cos() {
+            self.seal_region(state);
+        }
         let waiter: Arc<OutCell<P::Out>> = OutCell::new();
         let special = self.make_frame(
             Parent::Cell(Arc::clone(&waiter)),
@@ -472,17 +840,20 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             {
                 special.inner.lock().outstanding += 1;
             }
+            // Special children always clone eagerly: they run detached from
+            // the live workspace while the special loop keeps using it.
+            // Under copy-on-steal the clone seeds a fresh in-place region,
+            // so the fast_2 subtree below it is copy-free again.
             let mut child = self.clone_state(state);
             self.problem().apply(&mut child, c);
             self.stats.tasks_created += 1;
             let pushed = self.push_entry(Arc::clone(&special), true);
-            self.exec_node(
-                child,
-                logical + 1,
-                0,
-                Parent::Frame(Arc::clone(&special)),
-                Regime::Fast2,
-            );
+            let parent = Parent::Frame(Arc::clone(&special));
+            if self.cos() {
+                self.run_region(child, logical + 1, 0, parent, Regime::Fast2);
+            } else {
+                self.exec_node(child, logical + 1, 0, parent, Regime::Fast2);
+            }
             if pushed {
                 match self.my_deque().pop_special() {
                     PopSpecial::Reclaimed(_) => {
@@ -492,6 +863,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                         self.stats.pop_conflicts += 1;
                     }
                 }
+                self.publish_occupancy();
             }
         }
         // sync_specialtask: the special task cannot be suspended — wait for
@@ -502,12 +874,84 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         }
         self.stats.suspensions += 1;
         let t0 = now_if(self.shared.timing);
-        let out = waiter.wait();
+        let out = if self.cos() {
+            // Keep servicing workspace requests while blocked: a thief that
+            // stole an ancestor frame of this special section must not wait
+            // out the whole sync for its deposit.
+            loop {
+                self.service_ws(state);
+                if let Some(out) = waiter.wait_timeout(WS_SERVICE_WAIT) {
+                    break out;
+                }
+            }
+        } else {
+            waiter.wait()
+        };
         lap(&mut self.stats.time.wait_children_ns, t0);
         // The last child completed the frame; if its thief has unwound
         // already, the shell is unique again and can be pooled.
         self.retire_frame(special);
         out
+    }
+
+    /// Pick a victim uniformly at random, never this worker itself and —
+    /// when at least three workers exist, so a choice remains — never
+    /// `avoid` (the victim that just reported an empty deque).
+    fn random_victim(&mut self, n: usize, avoid: Option<usize>) -> usize {
+        match avoid {
+            Some(av) if n >= 3 && av != self.id => {
+                let mut v = self.rng.below_usize(n - 2);
+                // Remap over the two excluded ids in ascending order.
+                let (lo, hi) = (self.id.min(av), self.id.max(av));
+                if v >= lo {
+                    v += 1;
+                }
+                if v >= hi {
+                    v += 1;
+                }
+                v
+            }
+            _ => {
+                let mut v = self.rng.below_usize(n - 1);
+                if v >= self.id {
+                    v += 1;
+                }
+                v
+            }
+        }
+    }
+
+    /// Choose the next victim under the configured [`VictimPolicy`].
+    fn pick_victim(
+        &mut self,
+        n: usize,
+        last_victim: Option<usize>,
+        last_empty: Option<usize>,
+    ) -> usize {
+        match self.shared.victim {
+            VictimPolicy::Uniform => self.random_victim(n, last_empty),
+            VictimPolicy::LastVictim => match last_victim {
+                // Steal affinity: return to the last productive victim.
+                Some(v) => v,
+                None => self.random_victim(n, last_empty),
+            },
+            VictimPolicy::BestOfTwo => {
+                let a = self.random_victim(n, last_empty);
+                let b = self.random_victim(n, last_empty);
+                if a == b {
+                    a
+                } else {
+                    // Probe whichever hint reports the longer deque; ties
+                    // go to the first draw.
+                    let occ = &self.shared.occupancy;
+                    if occ[a].load(Ordering::Relaxed) >= occ[b].load(Ordering::Relaxed) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
     }
 
     /// Steal until the root result is ready.
@@ -516,7 +960,10 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     /// failed round a thief spins `2^k` pause hints (capped at
     /// `2^BACKOFF_SPIN_LIMIT`), then starts yielding the CPU between
     /// attempts. Any success resets the back-off, so a thief that finds
-    /// work is immediately aggressive again.
+    /// work is immediately aggressive again. A victim that just reported
+    /// an empty deque is never re-probed on the immediately following
+    /// attempt (a wasted probe that would also inflate the idle victim's
+    /// `stolen_num`).
     fn steal_loop(&mut self) {
         let n = self.shared.deques.len();
         if n == 1 {
@@ -524,28 +971,30 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         }
         let mut idle_since = now_if(self.shared.timing);
         let mut backoff = 0u32;
+        let mut last_victim: Option<usize> = None;
+        let mut last_empty: Option<usize> = None;
         while !self.shared.root.is_done() {
-            let victim = {
-                let mut v = self.rng.below_usize(n - 1);
-                if v >= self.id {
-                    v += 1;
-                }
-                v
-            };
+            let victim = self.pick_victim(n, last_victim, last_empty);
             match self.shared.deques[victim].steal() {
                 StealOutcome::Stolen(frame) => {
                     self.shared.signals[victim].record_steal_success();
                     self.stats.steals_ok += 1;
                     backoff = 0;
+                    last_victim = Some(victim);
+                    last_empty = None;
                     lap(&mut self.stats.time.steal_wait_ns, idle_since.take());
                     // The slow version: resume the stolen continuation under
                     // fast/check rules.
-                    self.frame_loop(frame, Regime::Fast);
+                    self.run_stolen(frame);
                     idle_since = now_if(self.shared.timing);
                 }
                 StealOutcome::Empty => {
                     self.shared.signals[victim].record_steal_failure();
                     self.stats.steals_failed += 1;
+                    if last_victim == Some(victim) {
+                        last_victim = None; // the affinity victim ran dry
+                    }
+                    last_empty = Some(victim);
                     if backoff < BACKOFF_SPIN_LIMIT {
                         for _ in 0..(1u32 << backoff) {
                             std::hint::spin_loop();
@@ -597,17 +1046,30 @@ fn run_on<P: Problem, D: WsDeque<Arc<Frame<P>>>>(
 ) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
     cfg.validate()?;
     let threads = cfg.threads;
+    // The Cilk baselines stay eager-copy regardless of the policy: their
+    // per-spawn copies are the very overhead the paper (and the ablation
+    // harness) measures against.
+    let cos = cfg.workspace == WorkspacePolicy::CopyOnSteal
+        && !matches!(mode, Mode::Cilk | Mode::CilkSynched);
     let shared = Shared {
         problem,
         deques: (0..threads)
             .map(|_| D::with_capacity(cfg.deque_capacity))
             .collect(),
         signals: (0..threads)
-            .map(|_| NeedTask::new(cfg.max_stolen_num))
+            .map(|_| CachePadded::new(NeedTask::new(cfg.max_stolen_num)))
+            .collect(),
+        occupancy: (0..threads)
+            .map(|_| CachePadded::new(AtomicUsize::new(0)))
+            .collect(),
+        ws_hints: (0..threads)
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
             .collect(),
         root: OutCell::new(),
         mode,
         cutoff: cfg.cutoff_depth().max(1),
+        victim: cfg.victim,
+        cos,
         timing: cfg.timing,
     };
     let mut seeder = XorShift64::new(cfg.seed);
@@ -623,13 +1085,12 @@ fn run_on<P: Problem, D: WsDeque<Arc<Frame<P>>>>(
                 if id == 0 {
                     let root_state = shared.problem.root();
                     w.stats.tasks_created += 1; // the root task
-                    w.exec_node(
-                        root_state,
-                        0,
-                        0,
-                        Parent::Cell(Arc::clone(&shared.root)),
-                        Regime::Fast,
-                    );
+                    let parent = Parent::Cell(Arc::clone(&shared.root));
+                    if shared.cos {
+                        w.run_region(root_state, 0, 0, parent, Regime::Fast);
+                    } else {
+                        w.exec_node(root_state, 0, 0, parent, Regime::Fast);
+                    }
                 }
                 w.steal_loop();
                 w.stats

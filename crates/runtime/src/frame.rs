@@ -17,8 +17,9 @@
 
 use adaptivetc_core::{Problem, Reduce};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A one-shot result mailbox with blocking wait.
 ///
@@ -61,6 +62,17 @@ impl<O: Send> OutCell<O> {
         }
         g.take().expect("guarded by loop")
     }
+
+    /// Block for at most `timeout`; `Some` if the value arrived. Used by
+    /// waiters that must keep servicing copy-on-steal workspace requests
+    /// while blocked (see `engine::special_section`).
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> Option<O> {
+        let mut g = self.slot.lock();
+        if g.is_none() {
+            let _ = self.cv.wait_for(&mut g, timeout);
+        }
+        g.take()
+    }
 }
 
 /// Where a frame delivers its completed result.
@@ -83,9 +95,11 @@ impl<P: Problem> Clone for Parent<P> {
 /// The mutable core of a frame, guarded by the frame lock.
 pub(crate) struct Inner<P: Problem> {
     /// The node's taskprivate workspace (the *parent's* copy; children get
-    /// clones). `None` only for special tasks, which never spawn from their
-    /// own workspace — their children are cloned from the enclosing fake
-    /// task's in-place workspace.
+    /// clones). `None` for special tasks, which never spawn from their own
+    /// workspace — their children are cloned from the enclosing fake
+    /// task's in-place workspace — and for copy-on-steal frames, which
+    /// borrow the owner's in-place workspace until a thief requests a
+    /// materialised clone (deposited here, published via `ws_ready`).
     pub state: Option<P::State>,
     /// Choices at this node, in order.
     pub choices: Vec<P::Choice>,
@@ -108,6 +122,20 @@ pub(crate) struct Frame<P: Problem> {
     /// Logical depth of the node in the problem tree (always root-relative;
     /// passed to `Problem::expand`).
     pub logical: u32,
+    /// Copy-on-steal handshake. `owner` is the worker whose in-place
+    /// workspace this frame borrows; a thief that steals the frame before a
+    /// workspace was materialised sets `ws_requested` and waits for the
+    /// owner to deposit a clone and publish it through `ws_ready`. The
+    /// owner also deposits unconditionally when a pop conflict reveals the
+    /// frame was stolen, so a waiting thief always makes progress.
+    pub owner: AtomicUsize,
+    pub ws_requested: AtomicBool,
+    pub ws_ready: AtomicBool,
+    /// Generation stamp, bumped every time a pooled frame shell is reused.
+    /// A thief snapshots it when it begins the workspace handshake; the
+    /// stamp changing under the handshake would mean the frame was recycled
+    /// while a steal was in flight (checked in debug builds).
+    pub generation: AtomicU32,
 }
 
 impl<P: Problem> Frame<P> {
@@ -130,7 +158,38 @@ impl<P: Problem> Frame<P> {
             }),
             depth,
             logical,
+            owner: AtomicUsize::new(usize::MAX),
+            ws_requested: AtomicBool::new(false),
+            ws_ready: AtomicBool::new(false),
+            generation: AtomicU32::new(0),
         })
+    }
+
+    /// Owner side of the copy-on-steal handshake: store a materialised
+    /// workspace clone and publish it. Idempotent — a deposit racing with a
+    /// pop-conflict backstop deposit keeps the first clone.
+    pub(crate) fn deposit_ws(&self, state: P::State) {
+        let mut g = self.inner.lock();
+        if g.state.is_none() {
+            g.state = Some(state);
+            drop(g);
+            self.ws_ready.store(true, Ordering::Release);
+        }
+        self.ws_requested.store(false, Ordering::Release);
+    }
+
+    /// Thief side: take the deposited workspace if the owner published one.
+    /// Consuming the deposit lowers `ws_ready` again, keeping the invariant
+    /// `ws_ready ⟺ an untaken deposit is present` — the owner's pop-conflict
+    /// backstop relies on it when the same frame shell is stolen again
+    /// later (a thief that materialised a frame re-pushes it, and *its*
+    /// thief starts a fresh handshake).
+    pub(crate) fn try_take_ws(&self) -> Option<P::State> {
+        if !self.ws_ready.swap(false, Ordering::AcqRel) {
+            return None;
+        }
+        self.ws_requested.store(false, Ordering::Release);
+        self.inner.lock().state.take()
     }
 
     /// Merge a child's result; returns the frame's completed result if this

@@ -1,6 +1,6 @@
 //! Stress and edge-case tests for the threaded runtime.
 
-use adaptivetc_core::{Config, CutoffPolicy, DequeBackend, Expansion, Problem};
+use adaptivetc_core::{Config, CutoffPolicy, DequeBackend, Expansion, Problem, WorkspacePolicy};
 use adaptivetc_runtime::Scheduler;
 
 /// A bushy tree with a payload that checks apply/undo pairing at every
@@ -158,7 +158,13 @@ fn pools_report_reuse_on_all_backends() {
     };
     let want = expected(&p);
     for backend in DequeBackend::ALL {
-        let cfg = Config::new(2).backend(backend).seed(11);
+        // Pin the eager-copy policy: this test is about the pools, and
+        // copy-on-steal (the default) removes almost every copy the pools
+        // would recycle.
+        let cfg = Config::new(2)
+            .backend(backend)
+            .workspace(WorkspacePolicy::EagerCopy)
+            .seed(11);
         let (got, report) = Scheduler::AdaptiveTc.run(&p, &cfg).expect("runs");
         assert_eq!(got, want, "{}", backend.name());
         assert!(

@@ -6,6 +6,14 @@
 //! (see EXPERIMENTS.md); what matters for reproducing the paper's *shapes*
 //! is the ratios — e.g. that a workspace copy of a few hundred bytes costs
 //! a few node-work units, and that a steal round-trip costs tens of them.
+//!
+//! *Where* a copy is charged depends on `Config::workspace`: under the
+//! eager policy every simulated spawn pays `alloc_ns` + the per-byte copy
+//! up front; under copy-on-steal the spawn site records a saved copy and
+//! the charge moves to the thief at the moment of a successful steal
+//! (matching the threaded engine's materialisation). Region seals are not
+//! modelled — in the real engine they are a liveness device, not a
+//! steady-state cost.
 
 /// Virtual durations (ns) for each scheduling activity.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -11,7 +11,7 @@
 
 use crate::cost::CostModel;
 use crate::tree::SimTree;
-use adaptivetc_core::{Config, RunReport, RunStats, XorShift64};
+use adaptivetc_core::{Config, RunReport, RunStats, WorkspacePolicy, XorShift64};
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -196,6 +196,12 @@ pub(crate) struct Sim<'t> {
     cost: CostModel,
     policy: Policy,
     cutoff: u32,
+    /// Copy-on-steal workspaces: spawns skip the eager clone; thieves pay
+    /// one materialisation copy per stolen frame instead. Mirrors the
+    /// threaded engine's gating (never the faithful Cilk baselines). The
+    /// owner-side region seals around special sections are not modelled —
+    /// they are a liveness device, not a steady-state cost.
+    cos: bool,
     max_stolen: u32,
     workers: Vec<WorkerSim>,
     heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>, // (time, seq, wid, epoch)
@@ -228,11 +234,17 @@ impl<'t> Sim<'t> {
                 epoch: 0,
             })
             .collect();
+        let cos = cfg.workspace == WorkspacePolicy::CopyOnSteal
+            && matches!(
+                policy,
+                Policy::AdaptiveTc | Policy::CutoffProgrammer(_) | Policy::CutoffLibrary
+            );
         Sim {
             tree,
             cost,
             policy,
             cutoff,
+            cos,
             max_stolen: cfg.max_stolen_num,
             workers,
             heap: BinaryHeap::new(),
@@ -506,7 +518,13 @@ impl<'t> Sim<'t> {
                             st.tasks_created += 1;
                             st.time.deque_ns += self.cost.task_create_ns;
                         }
-                        cost += self.charge_copy(wid, self.tree.bytes(frame.node));
+                        if self.cos {
+                            // The child borrows the live workspace; the
+                            // clone is deferred to a thief, if any.
+                            self.workers[wid].stats.workspace_copies_saved += 1;
+                        } else {
+                            cost += self.charge_copy(wid, self.tree.bytes(frame.node));
+                        }
                         let tdepth = frame.tdepth + 1;
                         let parent = Deliver::Frame(Rc::clone(&frame));
                         if self.policy == Policy::HelpFirst {
@@ -772,22 +790,30 @@ impl<'t> Sim<'t> {
                     v.stolen_num = 0;
                     v.need_task = false;
                 }
-                let w = &mut self.workers[wid];
-                w.stats.steals_ok += 1;
+                self.workers[wid].stats.steals_ok += 1;
+                let mut cost = self.cost.steal_ns;
                 match booty {
                     // The slow version resumes under fast/check rules.
-                    Booty::Frame(frame) => w.stack.push(Entry::Loop {
-                        frame,
-                        regime: Regime::Fast,
-                    }),
-                    Booty::Child { node, tdepth, out } => w.stack.push(Entry::Node {
-                        node,
-                        tdepth,
-                        regime: Regime::Fast,
-                        out,
-                    }),
+                    Booty::Frame(frame) => {
+                        if self.cos {
+                            // Copy-on-steal: the deferred workspace clone
+                            // is materialised for the thief now.
+                            cost += self.charge_copy(wid, self.tree.bytes(frame.node));
+                        }
+                        self.workers[wid].stack.push(Entry::Loop {
+                            frame,
+                            regime: Regime::Fast,
+                        });
+                    }
+                    Booty::Child { node, tdepth, out } => {
+                        self.workers[wid].stack.push(Entry::Node {
+                            node,
+                            tdepth,
+                            regime: Regime::Fast,
+                            out,
+                        });
+                    }
                 }
-                let cost = self.cost.steal_ns;
                 self.finish_idle_at(wid, self.now + cost);
                 Some(cost)
             }
