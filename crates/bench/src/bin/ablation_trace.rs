@@ -1,0 +1,419 @@
+//! Tracing-overhead ablation: what the event-tracing subsystem costs in
+//! each of its three states.
+//!
+//! * **notrace build** (`--no-default-features`): the instrumentation is
+//!   compiled out entirely — this is the PR3-equivalent baseline. The run
+//!   writes its wall times to `BENCH_pr4_baseline.txt` for the traced
+//!   build to compare against, plus its own `BENCH_pr4_notrace.json`.
+//! * **traced build, `Config::trace` off** (the shipping default): the
+//!   hot path carries one `Option` check per emission point. Expected
+//!   within noise of the notrace build.
+//! * **traced build, `Config::trace` on**: full event recording into the
+//!   per-worker rings (flight-recorder mode: the ring drops oldest on
+//!   overflow, so the overhead is bounded regardless of workload size).
+//!
+//! The traced build also exercises the post-processing pipeline once per
+//! run: the differential validator on fig1 + N-queens (trace counts must
+//! equal `RunStats` exactly), a Chrome-trace export of a 4-thread
+//! N-queens run (`trace_nqueens4.json`, loadable in chrome://tracing or
+//! Perfetto), and the trace-vs-sim diff on fig1.
+//!
+//! Timing gates are environment-controlled: `ABLATION_TRACE_STRICT=1`
+//! enforces the ≤2 % disabled-tracing budget (quiet machines only);
+//! `ABLATION_SMOKE=1` shrinks the boards for the CI smoke job, which
+//! checks shape, not time.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin ablation_trace --no-default-features
+//! cargo run --release -p adaptivetc-bench --bin ablation_trace
+//! ```
+
+use adaptivetc_core::{Config, CutoffPolicy, RunReport};
+use adaptivetc_runtime::Scheduler;
+use adaptivetc_workloads::fig1::Fig1Tree;
+use adaptivetc_workloads::nqueens::NqueensArray;
+
+/// The ablation workloads, runnable traced or untraced.
+#[derive(Clone, Copy)]
+enum Workload {
+    Fig1,
+    Nqueens(u8),
+}
+
+impl Workload {
+    fn name(&self) -> String {
+        match self {
+            Workload::Fig1 => "fig1".into(),
+            Workload::Nqueens(n) => format!("nqueen-array({n})"),
+        }
+    }
+
+    fn cutoff(&self) -> CutoffPolicy {
+        match self {
+            Workload::Fig1 => CutoffPolicy::Fixed(2),
+            Workload::Nqueens(_) => CutoffPolicy::Auto,
+        }
+    }
+
+    fn run(&self, cfg: &Config) -> RunReport {
+        let report = match self {
+            Workload::Fig1 => Scheduler::AdaptiveTc
+                .run(&Fig1Tree::new(), cfg)
+                .map(|r| r.1),
+            Workload::Nqueens(n) => Scheduler::AdaptiveTc
+                .run(&NqueensArray::new(*n), cfg)
+                .map(|r| r.1),
+        };
+        report.expect("workload runs")
+    }
+
+    #[cfg(feature = "trace")]
+    fn run_traced(&self, cfg: &Config) -> (RunReport, adaptivetc_trace::Trace) {
+        let (report, trace) = match self {
+            Workload::Fig1 => Scheduler::AdaptiveTc
+                .run_traced(&Fig1Tree::new(), cfg)
+                .map(|r| (r.1, r.2))
+                .expect("workload runs"),
+            Workload::Nqueens(n) => Scheduler::AdaptiveTc
+                .run_traced(&NqueensArray::new(*n), cfg)
+                .map(|r| (r.1, r.2))
+                .expect("workload runs"),
+        };
+        (report, trace.expect("Config::trace is set"))
+    }
+}
+
+/// One measured cell: a (workload, threads, tracing-state) wall time with
+/// the counters that prove the run did the same work.
+struct Row {
+    bench: String,
+    mode: &'static str,
+    threads: usize,
+    wall_ns: u64,
+    tasks: u64,
+    steals: u64,
+    events: u64,
+    dropped: u64,
+    /// Percent overhead vs this build's own `Config::trace`-off run
+    /// (only meaningful for mode `traced-on`).
+    overhead_pct: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"wall_ns\":{},\
+             \"tasks\":{},\"steals\":{},\"events\":{},\"dropped\":{},\
+             \"overhead_pct\":{:.2}}}",
+            self.bench,
+            self.mode,
+            self.threads,
+            self.wall_ns,
+            self.tasks,
+            self.steals,
+            self.events,
+            self.dropped,
+            self.overhead_pct
+        )
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<18} {:<10} {:>2}t {:>12.3}ms {:>9} {:>7} {:>10} {:>8} {:>+8.2}%",
+            self.bench,
+            self.mode,
+            self.threads,
+            self.wall_ns as f64 / 1e6,
+            self.tasks,
+            self.steals,
+            self.events,
+            self.dropped,
+            self.overhead_pct
+        );
+    }
+}
+
+/// Median wall time over `reps` runs (time measured by the engine).
+fn measure(w: Workload, cfg: &Config, reps: usize) -> (u64, RunReport) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let report = w.run(cfg);
+        walls.push(report.wall_ns);
+        last = Some(report);
+    }
+    walls.sort_unstable();
+    (walls[walls.len() / 2], last.expect("reps >= 1"))
+}
+
+#[cfg(feature = "trace")]
+fn measure_traced(
+    w: Workload,
+    cfg: &Config,
+    reps: usize,
+) -> (u64, RunReport, adaptivetc_trace::Trace) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (report, trace) = w.run_traced(cfg);
+        walls.push(report.wall_ns);
+        last = Some((report, trace));
+    }
+    walls.sort_unstable();
+    let (report, trace) = last.expect("reps >= 1");
+    (walls[walls.len() / 2], report, trace)
+}
+
+fn main() {
+    let smoke = std::env::var_os("ABLATION_SMOKE").is_some();
+    let strict = std::env::var_os("ABLATION_TRACE_STRICT").is_some();
+    let reps = if smoke { 3 } else { 7 };
+    let feature = if cfg!(feature = "trace") {
+        "trace"
+    } else {
+        "notrace"
+    };
+    println!("Tracing-overhead ablation (AdaptiveTC, seed 7, build: {feature})\n");
+    println!(
+        "{:<18} {:<10} {:>3} {:>14} {:>9} {:>7} {:>10} {:>8} {:>9}",
+        "benchmark", "mode", "thr", "wall", "tasks", "steals", "events", "dropped", "overhead"
+    );
+
+    let board = if smoke { 8 } else { 10 };
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline_lines: Vec<String> = Vec::new();
+
+    for w in [Workload::Fig1, Workload::Nqueens(board)] {
+        for threads in [1usize, 4] {
+            let cfg = Config::new(threads).cutoff(w.cutoff()).seed(7);
+            // `Config::trace` is off: in the notrace build this is the
+            // PR3-equivalent baseline; in the traced build it is the
+            // shipping default whose overhead must be within noise.
+            let (off_wall, report) = measure(w, &cfg, reps);
+            let mode = if cfg!(feature = "trace") {
+                "traced-off"
+            } else {
+                "notrace"
+            };
+            let row = Row {
+                bench: w.name(),
+                mode,
+                threads,
+                wall_ns: off_wall,
+                tasks: report.stats.tasks_created,
+                steals: report.stats.steals_ok,
+                events: 0,
+                dropped: 0,
+                overhead_pct: 0.0,
+            };
+            row.print();
+            rows.push(row);
+            if !cfg!(feature = "trace") {
+                baseline_lines.push(format!("{}\t{threads}\t{off_wall}", w.name()));
+            }
+
+            #[cfg(feature = "trace")]
+            {
+                // Full recording, flight-recorder ring (drop-oldest).
+                let traced_cfg = cfg.clone().trace(true);
+                let (on_wall, report, trace) = measure_traced(w, &traced_cfg, reps);
+                let overhead =
+                    (on_wall as f64 - off_wall as f64) / (off_wall.max(1) as f64) * 100.0;
+                let row = Row {
+                    bench: w.name(),
+                    mode: "traced-on",
+                    threads,
+                    wall_ns: on_wall,
+                    tasks: report.stats.tasks_created,
+                    steals: report.stats.steals_ok,
+                    events: trace.len() as u64,
+                    dropped: trace.total_dropped(),
+                    overhead_pct: overhead,
+                };
+                row.print();
+                rows.push(row);
+            }
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    trace_pipeline(smoke);
+
+    let out_name = if cfg!(feature = "trace") {
+        "BENCH_pr4.json"
+    } else {
+        "BENCH_pr4_notrace.json"
+    };
+    if cfg!(feature = "trace") {
+        // Smoke-sized runs last ~100 µs and swing tens of percent between
+        // processes; the 2 % budget is only meaningful at full size.
+        if strict && smoke {
+            println!("\nABLATION_SMOKE set: downgrading the strict budget to advisory");
+        }
+        compare_with_baseline(&rows, strict && !smoke);
+    } else {
+        let _ = strict;
+        std::fs::write("BENCH_pr4_baseline.txt", baseline_lines.join("\n") + "\n")
+            .expect("write BENCH_pr4_baseline.txt");
+        println!("\nwrote notrace baseline to BENCH_pr4_baseline.txt");
+    }
+
+    let json = format!(
+        "[\n  {}\n]\n",
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    std::fs::write(out_name, json).expect("write BENCH_pr4 json");
+    println!("wrote {} rows to {out_name}", rows.len());
+}
+
+/// Compare this (traced, `Config::trace` off) build against the notrace
+/// build's `BENCH_pr4_baseline.txt`, if present. The ≤2 % budget is only
+/// enforced under `ABLATION_TRACE_STRICT=1` — CI smoke machines are too
+/// noisy for a 2 % wall-clock assertion to be meaningful.
+fn compare_with_baseline(rows: &[Row], strict: bool) {
+    let Ok(baseline) = std::fs::read_to_string("BENCH_pr4_baseline.txt") else {
+        println!("\nno BENCH_pr4_baseline.txt (run the --no-default-features build first);");
+        println!("skipping the disabled-tracing budget check");
+        return;
+    };
+    println!("\nDisabled-tracing budget vs notrace build:");
+    let mut worst: f64 = 0.0;
+    for line in baseline.lines() {
+        let mut it = line.split('\t');
+        let (Some(bench), Some(threads), Some(wall)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        let (Ok(threads), Ok(base_wall)) = (threads.parse::<usize>(), wall.parse::<u64>()) else {
+            continue;
+        };
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.mode == "traced-off" && r.bench == bench && r.threads == threads)
+        else {
+            continue;
+        };
+        let pct = (row.wall_ns as f64 - base_wall as f64) / (base_wall.max(1) as f64) * 100.0;
+        // Only the single-thread real workloads gate: at one thread the
+        // schedule is deterministic, so the delta isolates the cost of
+        // the compiled-in (but disabled) instrumentation. fig1 is
+        // microseconds of work and multi-thread runs carry thread
+        // start-up and steal-timing noise far above 2 %.
+        if !bench.starts_with("fig1") && threads == 1 {
+            worst = worst.max(pct);
+        }
+        println!(
+            "  {bench:<18} {threads}t: {base_wall} -> {} ns ({pct:+.2}%)",
+            row.wall_ns
+        );
+    }
+    println!(
+        "disabled-tracing worst case: {worst:+.2}% (budget 2%, {})",
+        if strict { "enforced" } else { "advisory" }
+    );
+    if strict {
+        assert!(
+            worst <= 2.0,
+            "tracing-disabled overhead {worst:.2}% exceeds the 2% budget"
+        );
+    }
+}
+
+/// The post-processing pipeline, exercised end-to-end on real traces:
+/// differential validation, Chrome export, provenance/dwell analysis and
+/// the trace-vs-sim diff.
+#[cfg(feature = "trace")]
+fn trace_pipeline(smoke: bool) {
+    use adaptivetc_sim::{simulate_traced, CostModel, Policy, SimTree};
+    use adaptivetc_trace::{
+        dwell_times, steal_latency, to_chrome_json, validate, StealTree, TraceDiff,
+    };
+
+    println!("\nTrace post-processing pipeline:");
+
+    // 1. Differential validation: trace counts == RunStats, per worker
+    //    and aggregate, on fig1 and an N-queens board sized so nothing
+    //    drops (the identities require a complete stream).
+    let board = if smoke { 7 } else { 10 };
+    for (label, w) in [
+        ("fig1", Workload::Fig1),
+        ("nqueens", Workload::Nqueens(board)),
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = Config::new(threads)
+                .cutoff(w.cutoff())
+                .trace(true)
+                .trace_capacity(1 << 20)
+                .seed(7);
+            let (report, trace) = w.run_traced(&cfg);
+            assert_eq!(trace.total_dropped(), 0, "{label}: ring must not drop");
+            let mismatches = validate(&trace, &report);
+            assert!(
+                mismatches.is_empty(),
+                "{label}/{threads}t: trace disagrees with RunStats:\n{}",
+                mismatches
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            println!(
+                "  validator {label:<8} {threads}t: {} events, exact",
+                trace.len()
+            );
+        }
+    }
+
+    // 2. Chrome export of a 4-thread N-queens run, plus the analysis
+    //    passes over the same trace.
+    let w = Workload::Nqueens(board);
+    let cfg = Config::new(4)
+        .cutoff(w.cutoff())
+        .trace(true)
+        .trace_capacity(1 << 20)
+        .seed(7);
+    let (_, trace) = w.run_traced(&cfg);
+    let json = to_chrome_json(&trace);
+    std::fs::write("trace_nqueens4.json", &json).expect("write trace_nqueens4.json");
+    println!(
+        "  chrome export: {} events -> trace_nqueens4.json ({} KiB)",
+        trace.len(),
+        json.len() / 1024
+    );
+    let tree = StealTree::build(&trace);
+    let dwell = dwell_times(&trace);
+    let latency = steal_latency(&trace);
+    println!(
+        "  provenance: {} steal edges, {} roots, depth {}; steal latency mean {:.0} ns over {} samples",
+        tree.edges.len(),
+        tree.roots(),
+        tree.max_depth(),
+        latency.mean(),
+        latency.count
+    );
+    for (wid, d) in dwell.iter().enumerate() {
+        println!(
+            "  dwell w{wid}: work {:.3} ms, special {:.3} ms, sync {:.3} ms, slow {:.3} ms",
+            d.work_ns as f64 / 1e6,
+            d.special_ns as f64 / 1e6,
+            d.sync_wait_ns as f64 / 1e6,
+            d.slow_ns as f64 / 1e6
+        );
+    }
+
+    // 3. Trace-vs-sim diff on fig1: at one thread the shared schema
+    //    counts must agree exactly.
+    let cfg = Config::new(1)
+        .cutoff(CutoffPolicy::Fixed(2))
+        .trace(true)
+        .seed(7);
+    let (_, real) = Workload::Fig1.run_traced(&cfg);
+    let sim_tree = SimTree::from_problem(&Fig1Tree::new());
+    let (_, sim) = simulate_traced(&sim_tree, Policy::AdaptiveTc, &cfg, CostModel::calibrated());
+    let diff = TraceDiff::compare(&real, &sim.expect("Config::trace is set"));
+    assert!(
+        diff.is_exact(),
+        "fig1 trace-vs-sim diff:\n{}",
+        diff.render()
+    );
+    println!("  trace-vs-sim diff on fig1: exact across the shared schema");
+}

@@ -44,7 +44,9 @@ fn fast_check_fast2_walk_under_thief() {
                             stolen = Some(v);
                             break;
                         }
-                        StealOutcome::Empty => signal.record_steal_failure(),
+                        StealOutcome::Empty => {
+                            signal.record_steal_failure();
+                        }
                     }
                 }
                 stolen

@@ -107,6 +107,10 @@ impl WorkspacePolicy {
             WorkspacePolicy::CopyOnSteal => "copy-on-steal",
         }
     }
+
+    /// All policies, for ablation sweeps.
+    pub const ALL: [WorkspacePolicy; 2] =
+        [WorkspacePolicy::EagerCopy, WorkspacePolicy::CopyOnSteal];
 }
 
 /// How a thief picks its next victim.
@@ -191,6 +195,14 @@ pub struct Config {
     /// Measure per-activity times (adds instrumentation overhead to the
     /// threaded runtime; the simulator always reports exact virtual times).
     pub timing: bool,
+    /// Record per-worker event traces (spawns, deque traffic, steals, FSM
+    /// transitions, workspace handshake). Works in every mode, including
+    /// the Cilk baselines. Requires the runtime's `trace` cargo feature;
+    /// with the feature compiled out this flag is ignored.
+    pub trace: bool,
+    /// Per-worker event-ring capacity (events, rounded up to a power of
+    /// two). Full rings drop their oldest events and count the loss.
+    pub trace_capacity: usize,
 }
 
 impl Config {
@@ -206,6 +218,8 @@ impl Config {
             victim: VictimPolicy::Uniform,
             seed: 0x5EED,
             timing: false,
+            trace: false,
+            trace_capacity: 1 << 16,
         }
     }
 
@@ -257,6 +271,18 @@ impl Config {
         self
     }
 
+    /// Enable or disable event tracing.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Set the per-worker event-ring capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// The resolved cut-off depth for this configuration.
     pub fn cutoff_depth(&self) -> u32 {
         self.cutoff.depth_for(self.threads)
@@ -266,8 +292,9 @@ impl Config {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if `threads == 0`, `deque_capacity < 2`, or
-    /// `max_stolen_num == 0`.
+    /// Returns [`ConfigError`] if `threads == 0`, `deque_capacity < 2`,
+    /// `max_stolen_num == 0`, or tracing is enabled with
+    /// `trace_capacity < 16`.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
@@ -277,6 +304,9 @@ impl Config {
         }
         if self.max_stolen_num == 0 {
             return Err(ConfigError::ZeroMaxStolen);
+        }
+        if self.trace && self.trace_capacity < 16 {
+            return Err(ConfigError::TraceCapacityTooSmall(self.trace_capacity));
         }
         Ok(())
     }
@@ -334,7 +364,9 @@ mod tests {
             .workspace(WorkspacePolicy::EagerCopy)
             .victim(VictimPolicy::BestOfTwo)
             .seed(77)
-            .timing(true);
+            .timing(true)
+            .trace(true)
+            .trace_capacity(1 << 10);
         assert_eq!(cfg.cutoff_depth(), 9);
         assert_eq!(cfg.max_stolen_num, 3);
         assert_eq!(cfg.deque_capacity, 64);
@@ -343,7 +375,23 @@ mod tests {
         assert_eq!(cfg.victim, VictimPolicy::BestOfTwo);
         assert_eq!(cfg.seed, 77);
         assert!(cfg.timing);
+        assert!(cfg.trace);
+        assert_eq!(cfg.trace_capacity, 1 << 10);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_tiny_trace_ring_only_when_tracing() {
+        // A tiny capacity is fine while tracing is off...
+        assert!(Config::new(1).trace_capacity(1).validate().is_ok());
+        // ...and rejected once tracing is requested.
+        let err = Config::new(1)
+            .trace(true)
+            .trace_capacity(1)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, crate::ConfigError::TraceCapacityTooSmall(1));
+        assert!(Config::new(1).trace(true).validate().is_ok());
     }
 
     #[test]
@@ -370,9 +418,33 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), VictimPolicy::ALL.len());
-        assert_ne!(
-            WorkspacePolicy::EagerCopy.name(),
-            WorkspacePolicy::CopyOnSteal.name()
-        );
+        let mut ws_names: Vec<_> = WorkspacePolicy::ALL.iter().map(|w| w.name()).collect();
+        ws_names.sort_unstable();
+        ws_names.dedup();
+        assert_eq!(ws_names.len(), WorkspacePolicy::ALL.len());
+    }
+
+    // Every config axis must expose the same surface: an `ALL` sweep
+    // constant covering each variant, distinct `name()`s, and a default
+    // that appears in the sweep. This is what keeps the ablation benches
+    // and EXPERIMENTS.md's axis tables honest as axes are added.
+    #[test]
+    fn config_axes_are_uniform() {
+        fn axis<T: Copy + PartialEq + std::fmt::Debug + Default>(
+            all: &[T],
+            name: impl Fn(&T) -> &'static str,
+        ) {
+            let mut names: Vec<_> = all.iter().map(&name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), all.len(), "duplicate names in {all:?}");
+            assert!(
+                all.contains(&T::default()),
+                "default of {all:?} missing from ALL"
+            );
+        }
+        axis(&DequeBackend::ALL, DequeBackend::name);
+        axis(&WorkspacePolicy::ALL, WorkspacePolicy::name);
+        axis(&VictimPolicy::ALL, VictimPolicy::name);
     }
 }

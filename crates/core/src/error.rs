@@ -13,6 +13,9 @@ pub enum ConfigError {
     DequeTooSmall(usize),
     /// `max_stolen_num` was zero (the `need_task` signal would never fire).
     ZeroMaxStolen,
+    /// Tracing was enabled with a `trace_capacity` below the ring minimum
+    /// of 16 (stores the given value).
+    TraceCapacityTooSmall(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -23,6 +26,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "deque capacity {n} is below the minimum of 2")
             }
             ConfigError::ZeroMaxStolen => write!(f, "max_stolen_num must be nonzero"),
+            ConfigError::TraceCapacityTooSmall(n) => {
+                write!(f, "trace ring capacity {n} is below the minimum of 16")
+            }
         }
     }
 }
@@ -81,6 +87,7 @@ mod tests {
         for msg in [
             ConfigError::ZeroThreads.to_string(),
             ConfigError::DequeTooSmall(1).to_string(),
+            ConfigError::TraceCapacityTooSmall(4).to_string(),
             SchedulerError::DequeOverflow(64).to_string(),
             SchedulerError::WorkerPanicked(3).to_string(),
         ] {

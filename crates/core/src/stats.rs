@@ -242,6 +242,129 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_copy_on_steal_fields() {
+        let mut a = RunStats {
+            workspace_copies_saved: 10,
+            steal_backoffs: 3,
+            ..Default::default()
+        };
+        let b = RunStats {
+            workspace_copies_saved: 7,
+            steal_backoffs: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.workspace_copies_saved, 17);
+        assert_eq!(a.steal_backoffs, 7);
+    }
+
+    #[test]
+    fn merge_sums_pool_reuse_fields() {
+        let mut a = RunStats {
+            frame_reuse: 5,
+            state_reuse: 2,
+            allocations: 9,
+            ..Default::default()
+        };
+        let b = RunStats {
+            frame_reuse: 1,
+            state_reuse: 8,
+            allocations: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frame_reuse, 6);
+        assert_eq!(a.state_reuse, 10);
+        assert_eq!(a.allocations, 10);
+    }
+
+    // Guard against `merge` silently lagging the struct again: set every
+    // additive counter to 1 on both sides and demand 2 everywhere after a
+    // merge (deque_peak, the lone max-merged field, stays 1).
+    #[test]
+    fn merge_covers_every_counter() {
+        let ones = RunStats {
+            nodes: 1,
+            tasks_created: 1,
+            fake_tasks: 1,
+            special_tasks: 1,
+            deque_pushes: 1,
+            deque_pops: 1,
+            pop_conflicts: 1,
+            steals_ok: 1,
+            steals_failed: 1,
+            steal_requests: 1,
+            steal_responses: 1,
+            copies: 1,
+            copy_bytes: 1,
+            allocations: 1,
+            workspace_copies_saved: 1,
+            frame_reuse: 1,
+            state_reuse: 1,
+            steal_backoffs: 1,
+            polls: 1,
+            suspensions: 1,
+            deque_peak: 1,
+            deque_overflows: 1,
+            time: TimeBreakdown {
+                busy_ns: 1,
+                copy_ns: 1,
+                wait_children_ns: 1,
+                steal_wait_ns: 1,
+                poll_ns: 1,
+                deque_ns: 1,
+            },
+        };
+        let mut merged = ones.clone();
+        merged.merge(&ones);
+        let expect = |v: u64, field: &str| assert_eq!(v, 2, "{field} not merged additively");
+        expect(merged.nodes, "nodes");
+        expect(merged.tasks_created, "tasks_created");
+        expect(merged.fake_tasks, "fake_tasks");
+        expect(merged.special_tasks, "special_tasks");
+        expect(merged.deque_pushes, "deque_pushes");
+        expect(merged.deque_pops, "deque_pops");
+        expect(merged.pop_conflicts, "pop_conflicts");
+        expect(merged.steals_ok, "steals_ok");
+        expect(merged.steals_failed, "steals_failed");
+        expect(merged.steal_requests, "steal_requests");
+        expect(merged.steal_responses, "steal_responses");
+        expect(merged.copies, "copies");
+        expect(merged.copy_bytes, "copy_bytes");
+        expect(merged.allocations, "allocations");
+        expect(merged.workspace_copies_saved, "workspace_copies_saved");
+        expect(merged.frame_reuse, "frame_reuse");
+        expect(merged.state_reuse, "state_reuse");
+        expect(merged.steal_backoffs, "steal_backoffs");
+        expect(merged.polls, "polls");
+        expect(merged.suspensions, "suspensions");
+        expect(merged.deque_overflows, "deque_overflows");
+        assert_eq!(merged.time.total_ns(), 12, "time categories not merged");
+        assert_eq!(merged.deque_peak, 1, "deque_peak must merge with max");
+    }
+
+    #[test]
+    fn report_aggregates_pr3_fields_across_workers() {
+        let w0 = RunStats {
+            workspace_copies_saved: 4,
+            frame_reuse: 2,
+            steal_backoffs: 1,
+            ..Default::default()
+        };
+        let w1 = RunStats {
+            workspace_copies_saved: 6,
+            state_reuse: 3,
+            steal_backoffs: 2,
+            ..Default::default()
+        };
+        let r = RunReport::from_workers(vec![w0, w1], 10);
+        assert_eq!(r.stats.workspace_copies_saved, 10);
+        assert_eq!(r.stats.frame_reuse, 2);
+        assert_eq!(r.stats.state_reuse, 3);
+        assert_eq!(r.stats.steal_backoffs, 3);
+    }
+
+    #[test]
     fn report_aggregates_workers() {
         let w0 = RunStats {
             steals_ok: 2,

@@ -42,11 +42,18 @@ impl NeedTask {
         }
     }
 
-    /// A thief failed to steal from this victim.
-    pub fn record_steal_failure(&self) {
+    /// A thief failed to steal from this victim. Returns `true` when this
+    /// failure is the one that crossed the threshold and raised the
+    /// victim's `need_task` flag (so callers can attribute the signal to a
+    /// specific thief, e.g. in an event trace).
+    pub fn record_steal_failure(&self) -> bool {
         let n = self.stolen_num.fetch_add(1, Ordering::Relaxed) + 1;
         if n > self.max_stolen_num {
-            self.need_task.store(true, Ordering::Relaxed);
+            // swap, not store: the return value tells exactly one caller
+            // that its failure performed the lowered→raised transition.
+            !self.need_task.swap(true, Ordering::Relaxed)
+        } else {
+            false
         }
     }
 
@@ -86,14 +93,31 @@ mod tests {
     #[test]
     fn threshold_is_strict() {
         let s = NeedTask::new(2);
-        s.record_steal_failure();
-        s.record_steal_failure();
+        assert!(!s.record_steal_failure());
+        assert!(!s.record_steal_failure());
         assert!(
             !s.needs_task(),
             "need_task raised at, not above, the threshold"
         );
-        s.record_steal_failure();
+        assert!(s.record_steal_failure());
         assert!(s.needs_task());
+    }
+
+    #[test]
+    fn only_the_raising_failure_reports_true() {
+        let s = NeedTask::new(1);
+        assert!(!s.record_steal_failure());
+        assert!(s.record_steal_failure(), "threshold crossing must report");
+        assert!(
+            !s.record_steal_failure(),
+            "already-raised flag must not re-report"
+        );
+        s.record_steal_success();
+        assert!(!s.record_steal_failure());
+        assert!(
+            s.record_steal_failure(),
+            "re-raise after clear reports again"
+        );
     }
 
     #[test]

@@ -81,6 +81,7 @@
 use crate::frame::{deliver, Frame, OutCell, Parent};
 use crate::fsm;
 use crate::pool::Pool;
+use crate::trace::{tev, worker_tracer, TracerRef, WorkerTracer};
 use adaptivetc_core::{
     Config, DequeBackend, Expansion, Problem, Reduce, RunReport, RunStats, VictimPolicy,
     WorkspacePolicy, XorShift64,
@@ -88,6 +89,8 @@ use adaptivetc_core::{
 use adaptivetc_deque::{
     ChaseLevDeque, NeedTask, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque,
 };
+#[cfg(feature = "trace")]
+use adaptivetc_trace::{EventKind as Ev, FsmState as Fs};
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -205,10 +208,14 @@ struct Worker<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> {
     /// as nested regions; only current-region frames can be serviced from
     /// the current live workspace.
     region_base: usize,
+    /// Event-trace recording endpoint (`()` when the `trace` feature is
+    /// compiled out; `None` when `Config::trace` is off).
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    tr: WorkerTracer<'s>,
 }
 
 impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
-    fn new(shared: &'s Shared<'p, P, D>, id: usize, rng: XorShift64) -> Self {
+    fn new(shared: &'s Shared<'p, P, D>, id: usize, rng: XorShift64, tr: WorkerTracer<'s>) -> Self {
         Worker {
             shared,
             id,
@@ -220,6 +227,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             trail: Vec::new(),
             spine: Vec::new(),
             region_base: 0,
+            tr,
         }
     }
 
@@ -364,6 +372,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 self.stats.deque_pushes += 1;
                 self.stats.deque_peak = self.stats.deque_peak.max(self.my_deque().len() as u64);
                 self.publish_occupancy();
+                tev!(self, if special { Ev::SpecialPush } else { Ev::Push });
                 true
             }
             Err(_) => {
@@ -411,8 +420,26 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                         // Appendix C: the check version recurses into the
                         // check version at every depth; only fast_2 falls
                         // through to the sequence version.
-                        (Mode::Adaptive, Regime::Fast) => self.check(&mut state, logical, choices),
+                        (Mode::Adaptive, Regime::Fast) => {
+                            tev!(
+                                self,
+                                Ev::Fsm {
+                                    from: Fs::Fast,
+                                    to: Fs::Check,
+                                    depth: tdepth,
+                                }
+                            );
+                            self.check(&mut state, logical, choices)
+                        }
                         (Mode::Adaptive, Regime::Fast2) => {
+                            tev!(
+                                self,
+                                Ev::Fsm {
+                                    from: Fs::Fast2,
+                                    to: Fs::Sequence,
+                                    depth: tdepth,
+                                }
+                            );
                             self.sequence(&mut state, logical, choices)
                         }
                         (Mode::Cilk | Mode::CilkSynched, _) => unreachable!("always task mode"),
@@ -460,6 +487,12 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             };
             self.problem().apply(&mut child_state, choice);
             self.stats.tasks_created += 1;
+            tev!(
+                self,
+                Ev::Spawn {
+                    depth: frame.depth + 1
+                }
+            );
             let pushed = stealable && self.push_entry(Arc::clone(&frame), false);
             self.exec_node(
                 child_state,
@@ -473,12 +506,14 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                     Some(_) => {
                         self.stats.deque_pops += 1;
                         self.publish_occupancy();
+                        tev!(self, Ev::Pop);
                     }
                     None => {
                         // Continuation stolen: a thief now runs this frame's
                         // remaining children; unwind to the steal loop.
                         self.stats.pop_conflicts += 1;
                         self.publish_occupancy();
+                        tev!(self, Ev::PopConflict);
                         return;
                     }
                 }
@@ -509,6 +544,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             if slot.frame.ws_requested.load(Ordering::Acquire) {
                 let snap = self.materialise(live, slot.mark);
                 slot.frame.deposit_ws(snap);
+                tev!(self, Ev::WsDeposit);
             }
         }
         self.spine = spine;
@@ -539,6 +575,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             if slot.live_entry && !slot.frame.ws_ready.load(Ordering::Acquire) {
                 let snap = self.materialise(live, slot.mark);
                 slot.frame.deposit_ws(snap);
+                tev!(self, Ev::WsDeposit);
             }
         }
         self.spine = spine;
@@ -592,8 +629,28 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                     let out = match (self.shared.mode, regime) {
                         (Mode::CutoffSequence, _) => self.sequence(state, logical, choices),
                         (Mode::CutoffCopy, _) => self.sequence_copy(state, logical, choices),
-                        (Mode::Adaptive, Regime::Fast) => self.check(state, logical, choices),
-                        (Mode::Adaptive, Regime::Fast2) => self.sequence(state, logical, choices),
+                        (Mode::Adaptive, Regime::Fast) => {
+                            tev!(
+                                self,
+                                Ev::Fsm {
+                                    from: Fs::Fast,
+                                    to: Fs::Check,
+                                    depth: tdepth,
+                                }
+                            );
+                            self.check(state, logical, choices)
+                        }
+                        (Mode::Adaptive, Regime::Fast2) => {
+                            tev!(
+                                self,
+                                Ev::Fsm {
+                                    from: Fs::Fast2,
+                                    to: Fs::Sequence,
+                                    depth: tdepth,
+                                }
+                            );
+                            self.sequence(state, logical, choices)
+                        }
                         (Mode::Cilk | Mode::CilkSynched, _) => {
                             unreachable!("Cilk modes never run copy-on-steal")
                         }
@@ -636,8 +693,15 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             self.problem().apply(state, choice);
             self.trail.push(choice);
             self.stats.tasks_created += 1;
+            tev!(
+                self,
+                Ev::Spawn {
+                    depth: frame.depth + 1
+                }
+            );
             // The spawn that eager copying would have paid a clone for.
             self.stats.workspace_copies_saved += 1;
+            tev!(self, Ev::CopySaved);
             let pushed = stealable && self.push_entry(Arc::clone(&frame), false);
             if let Some(slot) = self.spine.last_mut() {
                 slot.live_entry = pushed;
@@ -656,6 +720,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                     Some(_) => {
                         self.stats.deque_pops += 1;
                         self.publish_occupancy();
+                        tev!(self, Ev::Pop);
                         if let Some(slot) = self.spine.last_mut() {
                             slot.live_entry = false;
                         }
@@ -667,9 +732,11 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                         // unless a seal or service round already did.
                         self.stats.pop_conflicts += 1;
                         self.publish_occupancy();
+                        tev!(self, Ev::PopConflict);
                         if !frame.ws_ready.load(Ordering::Acquire) {
                             let snap = self.clone_state(state);
                             frame.deposit_ws(snap);
+                            tev!(self, Ev::WsDeposit);
                         }
                         self.spine.pop();
                         return;
@@ -692,8 +759,24 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     /// owner may consume a hint while a different region is current — and
     /// then runs the continuation in place on the materialised clone.
     fn run_stolen(&mut self, frame: Arc<Frame<P>>) {
+        tev!(
+            self,
+            Ev::Fsm {
+                from: Fs::Idle,
+                to: Fs::Slow,
+                depth: frame.depth,
+            }
+        );
         if !self.cos() {
             self.frame_loop(frame, Regime::Fast);
+            tev!(
+                self,
+                Ev::Fsm {
+                    from: Fs::Slow,
+                    to: Fs::Idle,
+                    depth: 0,
+                }
+            );
             return;
         }
         #[cfg(debug_assertions)]
@@ -702,8 +785,14 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             Some(s) => s,
             None => {
                 frame.ws_requested.store(true, Ordering::Release);
-                self.shared.ws_hints[frame.owner.load(Ordering::Acquire)]
-                    .store(true, Ordering::Release);
+                let owner = frame.owner.load(Ordering::Acquire);
+                self.shared.ws_hints[owner].store(true, Ordering::Release);
+                tev!(
+                    self,
+                    Ev::WsRequest {
+                        owner: owner as u32
+                    }
+                );
                 let mut spins: u32 = 0;
                 loop {
                     if let Some(s) = frame.try_take_ws() {
@@ -720,6 +809,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 }
             }
         };
+        tev!(self, Ev::WsTake);
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             frame.generation.load(Ordering::Acquire),
@@ -732,6 +822,14 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         self.frame_loop_inplace(frame, &mut ws, Regime::Fast);
         self.region_base = saved_base;
         self.recycle(ws);
+        tev!(
+            self,
+            Ev::Fsm {
+                from: Fs::Slow,
+                to: Fs::Idle,
+                depth: 0,
+            }
+        );
     }
 
     /// The sequence version: plain recursion, no tasks, no copies, no polls
@@ -742,6 +840,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             self.service_ws(state);
         }
         self.stats.fake_tasks += 1;
+        tev!(self, Ev::FakeTask { depth: logical });
         let mut acc = P::Out::identity();
         for c in choices {
             self.problem().apply(state, c);
@@ -766,6 +865,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     /// sequential, so taskprivate semantics force the copy).
     fn sequence_copy(&mut self, state: &P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
         self.stats.fake_tasks += 1;
+        tev!(self, Ev::FakeTask { depth: logical });
         let mut acc = P::Out::identity();
         for c in choices {
             let mut child = self.clone_state(state);
@@ -792,6 +892,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         }
         if fsm::after_poll(self.my_signal().needs_task()) == fsm::Version::Check {
             self.stats.fake_tasks += 1;
+            tev!(self, Ev::FakeTask { depth: logical });
             let mut acc = P::Out::identity();
             for c in choices {
                 self.problem().apply(state, c);
@@ -810,6 +911,14 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             }
             acc
         } else {
+            tev!(
+                self,
+                Ev::Fsm {
+                    from: Fs::Check,
+                    to: Fs::Special,
+                    depth: logical,
+                }
+            );
             self.special_section(state, logical, choices)
         }
     }
@@ -824,10 +933,22 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         choices: Vec<P::Choice>,
     ) -> P::Out {
         self.stats.special_tasks += 1;
+        tev!(self, Ev::SpecialBegin { depth: logical });
         self.my_signal().acknowledge();
+        tev!(self, Ev::NeedTaskAck);
         if self.cos() {
             self.seal_region(state);
         }
+        // The paper's special-task re-entry: the fake task's children run
+        // as tasks again in fast_2 with the cut-off doubled and depth 0.
+        tev!(
+            self,
+            Ev::Fsm {
+                from: Fs::Special,
+                to: Fs::Fast2,
+                depth: logical,
+            }
+        );
         let waiter: Arc<OutCell<P::Out>> = OutCell::new();
         let special = self.make_frame(
             Parent::Cell(Arc::clone(&waiter)),
@@ -847,6 +968,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             let mut child = self.clone_state(state);
             self.problem().apply(&mut child, c);
             self.stats.tasks_created += 1;
+            tev!(self, Ev::Spawn { depth: 0 });
             let pushed = self.push_entry(Arc::clone(&special), true);
             let parent = Parent::Frame(Arc::clone(&special));
             if self.cos() {
@@ -858,9 +980,11 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 match self.my_deque().pop_special() {
                     PopSpecial::Reclaimed(_) => {
                         self.stats.deque_pops += 1;
+                        tev!(self, Ev::SpecialConsume { reclaimed: true });
                     }
                     PopSpecial::ChildStolen => {
                         self.stats.pop_conflicts += 1;
+                        tev!(self, Ev::SpecialConsume { reclaimed: false });
                     }
                 }
                 self.publish_occupancy();
@@ -870,9 +994,11 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         // every child to deliver before resuming the fake task.
         if let Some(out) = special.finish_continuation() {
             self.retire_frame(special);
+            tev!(self, Ev::SpecialEnd);
             return out;
         }
         self.stats.suspensions += 1;
+        tev!(self, Ev::SyncSuspend);
         let t0 = now_if(self.shared.timing);
         let out = if self.cos() {
             // Keep servicing workspace requests while blocked: a thief that
@@ -888,9 +1014,11 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             waiter.wait()
         };
         lap(&mut self.stats.time.wait_children_ns, t0);
+        tev!(self, Ev::SyncResume);
         // The last child completed the frame; if its thief has unwound
         // already, the shell is unique again and can be pooled.
         self.retire_frame(special);
+        tev!(self, Ev::SpecialEnd);
         out
     }
 
@@ -975,10 +1103,22 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
         let mut last_empty: Option<usize> = None;
         while !self.shared.root.is_done() {
             let victim = self.pick_victim(n, last_victim, last_empty);
+            tev!(
+                self,
+                Ev::StealAttempt {
+                    victim: victim as u32,
+                }
+            );
             match self.shared.deques[victim].steal() {
                 StealOutcome::Stolen(frame) => {
                     self.shared.signals[victim].record_steal_success();
                     self.stats.steals_ok += 1;
+                    tev!(
+                        self,
+                        Ev::StealOk {
+                            victim: victim as u32
+                        }
+                    );
                     backoff = 0;
                     last_victim = Some(victim);
                     last_empty = None;
@@ -989,8 +1129,22 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                     idle_since = now_if(self.shared.timing);
                 }
                 StealOutcome::Empty => {
-                    self.shared.signals[victim].record_steal_failure();
+                    let raised = self.shared.signals[victim].record_steal_failure();
+                    if raised {
+                        tev!(
+                            self,
+                            Ev::NeedTaskSignal {
+                                victim: victim as u32,
+                            }
+                        );
+                    }
                     self.stats.steals_failed += 1;
+                    tev!(
+                        self,
+                        Ev::StealEmpty {
+                            victim: victim as u32
+                        }
+                    );
                     if last_victim == Some(victim) {
                         last_victim = None; // the affinity victim ran dry
                     }
@@ -1031,18 +1185,54 @@ pub fn run<P: Problem>(
     cfg: &Config,
     mode: Mode,
 ) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
+    #[cfg(feature = "trace")]
+    {
+        run_traced(problem, cfg, mode).map(|(out, report, _trace)| (out, report))
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        dispatch(problem, cfg, mode, ())
+    }
+}
+
+/// As [`run`], but additionally returns the drained event trace when
+/// `cfg.trace` is set (and `None` when it is not).
+#[cfg(feature = "trace")]
+pub fn run_traced<P: Problem>(
+    problem: &P,
+    cfg: &Config,
+    mode: Mode,
+) -> Result<(P::Out, RunReport, Option<adaptivetc_trace::Trace>), adaptivetc_core::SchedulerError> {
+    cfg.validate()?;
+    let collector = cfg
+        .trace
+        .then(|| adaptivetc_trace::TraceCollector::new(cfg.threads, cfg.trace_capacity));
+    let (out, report) = dispatch(problem, cfg, mode, collector.as_ref())?;
+    Ok((out, report, collector.map(|c| c.finish())))
+}
+
+/// Select the deque backend and run.
+fn dispatch<'a, P: Problem>(
+    problem: &'a P,
+    cfg: &Config,
+    mode: Mode,
+    tracer: TracerRef<'a>,
+) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
     match cfg.backend {
-        DequeBackend::The => run_on::<P, TheDeque<Arc<Frame<P>>>>(problem, cfg, mode),
-        DequeBackend::ChaseLev => run_on::<P, ChaseLevDeque<Arc<Frame<P>>>>(problem, cfg, mode),
-        DequeBackend::Pool => run_on::<P, PoolDeque<Arc<Frame<P>>>>(problem, cfg, mode),
+        DequeBackend::The => run_on::<P, TheDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer),
+        DequeBackend::ChaseLev => {
+            run_on::<P, ChaseLevDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer)
+        }
+        DequeBackend::Pool => run_on::<P, PoolDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer),
     }
 }
 
 /// The engine, monomorphized over one deque backend.
-fn run_on<P: Problem, D: WsDeque<Arc<Frame<P>>>>(
-    problem: &P,
+fn run_on<'a, P: Problem, D: WsDeque<Arc<Frame<P>>>>(
+    problem: &'a P,
     cfg: &Config,
     mode: Mode,
+    tracer: TracerRef<'a>,
 ) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
     cfg.validate()?;
     let threads = cfg.threads;
@@ -1080,11 +1270,15 @@ fn run_on<P: Problem, D: WsDeque<Arc<Frame<P>>>>(
         let mut handles = Vec::with_capacity(threads);
         for (id, rng) in seeds.into_iter().enumerate() {
             let shared = &shared;
+            // Collapses to a unit binding when tracing is compiled out.
+            #[cfg_attr(not(feature = "trace"), allow(clippy::let_unit_value))]
+            let tr = worker_tracer(tracer, id);
             handles.push(s.spawn(move || {
-                let mut w = Worker::new(shared, id, rng);
+                let mut w = Worker::new(shared, id, rng, tr);
                 if id == 0 {
                     let root_state = shared.problem.root();
                     w.stats.tasks_created += 1; // the root task
+                    tev!(w, Ev::Spawn { depth: 0 });
                     let parent = Parent::Cell(Arc::clone(&shared.root));
                     if shared.cos {
                         w.run_region(root_state, 0, 0, parent, Regime::Fast);

@@ -50,7 +50,10 @@ pub mod fsm;
 pub mod par;
 pub mod pool;
 pub mod tascell;
+mod trace;
 
+#[cfg(feature = "trace")]
+pub use engine::run_traced;
 pub use engine::Mode;
 
 use adaptivetc_core::{serial, Config, CutoffPolicy, Problem, RunReport, RunStats, SchedulerError};
@@ -135,6 +138,41 @@ impl Scheduler {
                 engine::run(problem, &cfg, Mode::CutoffCopy)
             }
             Scheduler::AdaptiveTc => engine::run(problem, cfg, Mode::Adaptive),
+        }
+    }
+
+    /// As [`Scheduler::run`], but additionally returns the drained event
+    /// trace when `cfg.trace` is set. `Serial` and `Tascell` do not run on
+    /// the traced engine and always return `None` (their counters remain
+    /// available through the report).
+    ///
+    /// Only available with the `trace` cargo feature (on by default).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::run`].
+    #[cfg(feature = "trace")]
+    pub fn run_traced<P: Problem>(
+        &self,
+        problem: &P,
+        cfg: &Config,
+    ) -> Result<(P::Out, RunReport, Option<adaptivetc_trace::Trace>), SchedulerError> {
+        match self {
+            Scheduler::Serial | Scheduler::Tascell => {
+                let (out, report) = self.run(problem, cfg)?;
+                Ok((out, report, None))
+            }
+            Scheduler::Cilk => engine::run_traced(problem, cfg, Mode::Cilk),
+            Scheduler::CilkSynched => engine::run_traced(problem, cfg, Mode::CilkSynched),
+            Scheduler::CutoffProgrammer(d) => {
+                let cfg = cfg.clone().cutoff(CutoffPolicy::Fixed(*d));
+                engine::run_traced(problem, &cfg, Mode::CutoffSequence)
+            }
+            Scheduler::CutoffLibrary => {
+                let cfg = cfg.clone().cutoff(CutoffPolicy::Auto);
+                engine::run_traced(problem, &cfg, Mode::CutoffCopy)
+            }
+            Scheduler::AdaptiveTc => engine::run_traced(problem, cfg, Mode::Adaptive),
         }
     }
 }

@@ -1,0 +1,44 @@
+//! Feature-gated tracing plumbing for the engine.
+//!
+//! With the `trace` cargo feature **on**, these aliases carry an optional
+//! `adaptivetc-trace` collector / per-worker handle through the engine;
+//! with the feature **off** they collapse to `()` and every `tev!` call
+//! site expands to nothing, so the hot path is byte-identical to an
+//! untraced build. All instrumentation goes through [`tev!`] — never call
+//! trace APIs directly from the engine, or the feature-off build breaks.
+
+#[cfg(feature = "trace")]
+pub(crate) type TracerRef<'a> = Option<&'a adaptivetc_trace::TraceCollector>;
+#[cfg(not(feature = "trace"))]
+pub(crate) type TracerRef<'a> = ();
+
+#[cfg(feature = "trace")]
+pub(crate) type WorkerTracer<'a> = Option<adaptivetc_trace::WorkerHandle<'a>>;
+#[cfg(not(feature = "trace"))]
+pub(crate) type WorkerTracer<'a> = ();
+
+/// The per-worker recording endpoint for worker `id`, or the unit value
+/// when tracing is compiled out.
+#[cfg(feature = "trace")]
+pub(crate) fn worker_tracer(tracer: TracerRef<'_>, id: usize) -> WorkerTracer<'_> {
+    tracer.map(|c| c.handle(id))
+}
+#[cfg(not(feature = "trace"))]
+pub(crate) fn worker_tracer(_tracer: TracerRef<'_>, _id: usize) -> WorkerTracer<'_> {}
+
+/// Emit a trace event from a [`Worker`](crate::engine): `tev!(self, <expr>)`
+/// where `<expr>` evaluates to an `adaptivetc_trace::EventKind` (the
+/// engine imports it as `Ev`). Expands to nothing when the `trace` feature
+/// is off — the expression tokens are removed before name resolution, so
+/// they may freely reference trace-only types.
+macro_rules! tev {
+    ($worker:expr, $kind:expr) => {
+        #[cfg(feature = "trace")]
+        {
+            if let Some(h) = $worker.tr.as_ref() {
+                h.emit($kind);
+            }
+        }
+    };
+}
+pub(crate) use tev;

@@ -10,8 +10,11 @@
 //! activity advances only the acting worker's clock.
 
 use crate::cost::CostModel;
+use crate::trace::{sev, SimTracer};
 use crate::tree::SimTree;
 use adaptivetc_core::{Config, RunReport, RunStats, WorkspacePolicy, XorShift64};
+#[cfg(feature = "trace")]
+use adaptivetc_trace::EventKind as Ev;
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -209,10 +212,20 @@ pub(crate) struct Sim<'t> {
     root_value: u64,
     root_done: Option<u64>,
     now: u64,
+    /// Event sink stamping the virtual clock (`()` when the `trace`
+    /// feature is compiled out; `None` when `Config::trace` is off).
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    tracer: SimTracer<'t>,
 }
 
 impl<'t> Sim<'t> {
-    pub(crate) fn new(tree: &'t SimTree, cfg: &Config, cost: CostModel, policy: Policy) -> Self {
+    pub(crate) fn new(
+        tree: &'t SimTree,
+        cfg: &Config,
+        cost: CostModel,
+        policy: Policy,
+        tracer: SimTracer<'t>,
+    ) -> Self {
         let mut seeder = XorShift64::new(cfg.seed);
         let cutoff = match policy {
             Policy::CutoffProgrammer(d) => d.max(1),
@@ -252,6 +265,7 @@ impl<'t> Sim<'t> {
             root_value: 0,
             root_done: None,
             now: 0,
+            tracer,
         }
     }
 
@@ -400,9 +414,10 @@ impl<'t> Sim<'t> {
                     SeqKind::Check => {
                         cost += self.poll(wid);
                         if self.take_need_task(wid) {
-                            cost += self.start_special(wid, node, out);
+                            cost += self.start_special(wid, node, tdepth, out);
                         } else {
                             self.workers[wid].stats.fake_tasks += 1;
+                            sev!(self, wid, Ev::FakeTask { depth: tdepth });
                             self.workers[wid].stack.push(Entry::SeqLoop {
                                 node,
                                 kid: 0,
@@ -415,6 +430,7 @@ impl<'t> Sim<'t> {
                     }
                     kind => {
                         self.workers[wid].stats.fake_tasks += 1;
+                        sev!(self, wid, Ev::FakeTask { depth: tdepth });
                         self.workers[wid].stack.push(Entry::SeqLoop {
                             node,
                             kid: 0,
@@ -465,9 +481,10 @@ impl<'t> Sim<'t> {
                     SeqKind::Check => {
                         cost += self.poll(wid);
                         if self.take_need_task(wid) {
-                            cost += self.start_special(wid, child, Deliver::Below);
+                            cost += self.start_special(wid, child, tdepth + 1, Deliver::Below);
                         } else {
                             self.workers[wid].stats.fake_tasks += 1;
+                            sev!(self, wid, Ev::FakeTask { depth: tdepth + 1 });
                             self.workers[wid].stack.push(Entry::SeqLoop {
                                 node: child,
                                 kid: 0,
@@ -480,6 +497,7 @@ impl<'t> Sim<'t> {
                     }
                     _ => {
                         self.workers[wid].stats.fake_tasks += 1;
+                        sev!(self, wid, Ev::FakeTask { depth: tdepth + 1 });
                         self.workers[wid].stack.push(Entry::SeqLoop {
                             node: child,
                             kid: 0,
@@ -518,19 +536,22 @@ impl<'t> Sim<'t> {
                             st.tasks_created += 1;
                             st.time.deque_ns += self.cost.task_create_ns;
                         }
+                        let tdepth = frame.tdepth + 1;
+                        sev!(self, wid, Ev::Spawn { depth: tdepth });
                         if self.cos {
                             // The child borrows the live workspace; the
                             // clone is deferred to a thief, if any.
                             self.workers[wid].stats.workspace_copies_saved += 1;
+                            sev!(self, wid, Ev::CopySaved);
                         } else {
                             cost += self.charge_copy(wid, self.tree.bytes(frame.node));
                         }
-                        let tdepth = frame.tdepth + 1;
                         let parent = Deliver::Frame(Rc::clone(&frame));
                         if self.policy == Policy::HelpFirst {
                             // Help-first: enqueue the child, keep running the
                             // parent's loop.
                             cost += self.cost.deque_op_ns;
+                            sev!(self, wid, Ev::Push);
                             let w = &mut self.workers[wid];
                             w.stats.deque_pushes += 1;
                             w.stats.time.deque_ns += self.cost.deque_op_ns;
@@ -542,6 +563,9 @@ impl<'t> Sim<'t> {
                             w.stats.deque_peak = w.stats.deque_peak.max(w.deque.len() as u64);
                             w.stack.push(Entry::Loop { frame, regime });
                             return Flow::Pay(cost);
+                        }
+                        if stealable {
+                            sev!(self, wid, Ev::Push);
                         }
                         let w = &mut self.workers[wid];
                         if stealable {
@@ -577,6 +601,7 @@ impl<'t> Sim<'t> {
                             self.deliver(frame.parent.clone(), v, wid);
                         } else {
                             self.workers[wid].stats.suspensions += 1;
+                            sev!(self, wid, Ev::SyncSuspend);
                         }
                         Flow::Free
                     }
@@ -593,9 +618,11 @@ impl<'t> Sim<'t> {
                 if retained {
                     self.workers[wid].deque.pop_back();
                     self.workers[wid].stats.deque_pops += 1;
+                    sev!(self, wid, Ev::Pop);
                     self.workers[wid].stack.push(Entry::Loop { frame, regime });
                 } else {
                     self.workers[wid].stats.pop_conflicts += 1;
+                    sev!(self, wid, Ev::PopConflict);
                 }
                 Flow::Pay(cost)
             }
@@ -623,6 +650,8 @@ impl<'t> Sim<'t> {
                         st.deque_pushes += 1;
                         st.time.deque_ns += cost;
                     }
+                    sev!(self, wid, Ev::Spawn { depth: 0 });
+                    sev!(self, wid, Ev::SpecialPush);
                     cost += self.charge_copy(wid, self.tree.bytes(node));
                     let w = &mut self.workers[wid];
                     w.deque.push_back(DqEntry::Special(Rc::clone(&sframe)));
@@ -650,6 +679,7 @@ impl<'t> Sim<'t> {
                             Flow::Free
                         }
                         None => {
+                            sev!(self, wid, Ev::SyncSuspend);
                             let w = &mut self.workers[wid];
                             w.stats.suspensions += 1;
                             w.state = WState::Waiting;
@@ -675,6 +705,7 @@ impl<'t> Sim<'t> {
                 } else {
                     self.workers[wid].stats.pop_conflicts += 1;
                 }
+                sev!(self, wid, Ev::SpecialConsume { reclaimed });
                 Flow::Pay(cost)
             }
         }
@@ -698,8 +729,11 @@ impl<'t> Sim<'t> {
         }
     }
 
-    fn start_special(&mut self, wid: usize, node: u32, out: Deliver) -> u64 {
+    fn start_special(&mut self, wid: usize, node: u32, depth: u32, out: Deliver) -> u64 {
         self.workers[wid].stats.special_tasks += 1;
+        sev!(self, wid, Ev::SpecialBegin { depth });
+        #[cfg(not(feature = "trace"))]
+        let _ = depth;
         let sframe = Frame::new(node, 0, Deliver::Wake(wid));
         self.workers[wid].stack.push(Entry::SpecialLoop {
             node,
@@ -715,6 +749,7 @@ impl<'t> Sim<'t> {
         // Help-first: pending local children run before any stealing.
         if let Some(DqEntry::Child { .. }) = self.workers[wid].deque.back() {
             if let Some(DqEntry::Child { node, tdepth, out }) = self.workers[wid].deque.pop_back() {
+                sev!(self, wid, Ev::Pop);
                 let w = &mut self.workers[wid];
                 w.stats.deque_pops += 1;
                 w.stack.push(Entry::Node {
@@ -791,6 +826,13 @@ impl<'t> Sim<'t> {
                     v.need_task = false;
                 }
                 self.workers[wid].stats.steals_ok += 1;
+                sev!(
+                    self,
+                    wid,
+                    Ev::StealOk {
+                        victim: victim as u32
+                    }
+                );
                 let mut cost = self.cost.steal_ns;
                 match booty {
                     // The slow version resumes under fast/check rules.
@@ -826,6 +868,13 @@ impl<'t> Sim<'t> {
                     }
                 }
                 self.workers[wid].stats.steals_failed += 1;
+                sev!(
+                    self,
+                    wid,
+                    Ev::StealEmpty {
+                        victim: victim as u32
+                    }
+                );
                 Some(self.cost.steal_ns + self.cost.steal_backoff_ns)
             }
         }
@@ -851,6 +900,7 @@ impl<'t> Sim<'t> {
             out: Deliver::Root,
         });
         self.workers[0].stats.tasks_created += 1; // the root task
+        sev!(self, 0, Ev::Spawn { depth: 0 });
         let n = self.workers.len();
         for wid in 0..n {
             self.schedule(wid, 0);

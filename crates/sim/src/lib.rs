@@ -38,6 +38,7 @@
 mod cost;
 mod engine;
 mod tascell;
+mod trace;
 mod tree;
 
 pub use cost::CostModel;
@@ -65,10 +66,54 @@ pub struct SimOutcome {
 ///
 /// Panics if the configuration is invalid (zero workers).
 pub fn simulate(tree: &SimTree, policy: Policy, cfg: &Config, cost: CostModel) -> SimOutcome {
+    #[cfg(feature = "trace")]
+    {
+        simulate_traced(tree, policy, cfg, cost).0
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        sim_inner(tree, policy, cfg, cost, ())
+    }
+}
+
+/// Simulate a policy and also return the event trace, stamped with the
+/// virtual clock, when `cfg.trace` is set.
+///
+/// The deque-based policies emit the same event schema as the threaded
+/// runtime (see `adaptivetc-trace`), so the two streams can be diffed
+/// over their shared subset with `TraceDiff`. Tascell runs in its own
+/// interpreter and is not instrumented: it always yields `None`, as does
+/// any run with `cfg.trace` off.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero workers, undersized
+/// trace ring).
+#[cfg(feature = "trace")]
+pub fn simulate_traced(
+    tree: &SimTree,
+    policy: Policy,
+    cfg: &Config,
+    cost: CostModel,
+) -> (SimOutcome, Option<adaptivetc_trace::Trace>) {
+    cfg.validate().expect("invalid simulation configuration");
+    let collector = (cfg.trace && policy != Policy::Tascell)
+        .then(|| adaptivetc_trace::TraceCollector::new(cfg.threads, cfg.trace_capacity));
+    let out = sim_inner(tree, policy, cfg, cost, collector.as_ref());
+    (out, collector.map(|c| c.finish()))
+}
+
+fn sim_inner(
+    tree: &SimTree,
+    policy: Policy,
+    cfg: &Config,
+    cost: CostModel,
+    tracer: trace::SimTracer<'_>,
+) -> SimOutcome {
     cfg.validate().expect("invalid simulation configuration");
     let (leaves, report) = match policy {
         Policy::Tascell => tascell::TascellSim::new(tree, cfg, cost).run(),
-        _ => engine::Sim::new(tree, cfg, cost, policy).run(),
+        _ => engine::Sim::new(tree, cfg, cost, policy, tracer).run(),
     };
     SimOutcome {
         leaves,
@@ -286,6 +331,51 @@ mod tests {
             out.report.stats.time.wait_children_ns > 0,
             "victims must wait for handed-out children"
         );
+    }
+
+    /// Every simulated event stream must satisfy the same trace↔stats
+    /// count identities the threaded runtime's differential validator
+    /// enforces — per worker and in aggregate.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_counts_match_stats() {
+        let tree = binary_tree(10);
+        let cfg = Config::new(4).trace(true).max_stolen_num(2).seed(7);
+        for policy in [
+            Policy::Cilk,
+            Policy::CilkSynched,
+            Policy::CutoffProgrammer(3),
+            Policy::CutoffLibrary,
+            Policy::AdaptiveTc,
+            Policy::HelpFirst,
+        ] {
+            let (out, trace) = simulate_traced(&tree, policy, &cfg, CostModel::calibrated());
+            let trace = trace.expect("tracing enabled for deque-based policies");
+            assert!(!trace.is_empty(), "{}", policy.name());
+            let mismatches = adaptivetc_trace::validate(&trace, &out.report);
+            assert!(mismatches.is_empty(), "{}: {:?}", policy.name(), mismatches);
+        }
+    }
+
+    /// Tracing is opt-in (`Config::trace`) and never instruments Tascell.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn tracing_is_opt_in() {
+        let tree = binary_tree(6);
+        let (_, off) = simulate_traced(
+            &tree,
+            Policy::AdaptiveTc,
+            &Config::new(2),
+            CostModel::calibrated(),
+        );
+        assert!(off.is_none());
+        let (_, tascell) = simulate_traced(
+            &tree,
+            Policy::Tascell,
+            &Config::new(2).trace(true),
+            CostModel::calibrated(),
+        );
+        assert!(tascell.is_none());
     }
 
     #[test]

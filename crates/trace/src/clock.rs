@@ -1,0 +1,68 @@
+//! The run-epoch clock.
+//!
+//! All events in a trace are stamped with nanoseconds since a single
+//! *run epoch* captured when the collector is created. `std::time::Instant`
+//! is guaranteed monotonic and — on every platform we target — reads a
+//! global clock (CLOCK_MONOTONIC / QueryPerformanceCounter), so
+//! timestamps taken on different workers are directly comparable without
+//! per-worker offset calibration. Each worker still reads the clock
+//! itself (no shared mutable state), so stamping stays wait-free.
+//!
+//! The simulator bypasses this clock entirely and stamps events with its
+//! virtual time via `TraceCollector::emit_at`.
+
+use std::time::Instant;
+
+/// A shared run epoch; `now()` is nanoseconds since it.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl TraceClock {
+    /// Capture the run epoch.
+    pub fn start() -> TraceClock {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the epoch. Saturates at `u64::MAX`
+    /// (≈ 584 years), which is unreachable in practice.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        let d = self.epoch.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(d.subsec_nanos()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = TraceClock::start();
+        let mut prev = clock.now();
+        for _ in 0..1000 {
+            let t = clock.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn copies_share_the_epoch() {
+        let clock = TraceClock::start();
+        let copy = clock;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let a = clock.now();
+        let b = copy.now();
+        // Both read the same epoch, so they must be within a tight window
+        // of each other and both past the sleep.
+        assert!(a >= 1_000_000 && b >= 1_000_000);
+        assert!(a.abs_diff(b) < 1_000_000_000);
+    }
+}

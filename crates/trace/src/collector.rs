@@ -1,0 +1,201 @@
+//! The collector: one ring per worker, handed out as per-worker handles,
+//! drained into an immutable [`Trace`] once the run has quiesced.
+
+use crate::clock::TraceClock;
+use crate::event::{Event, EventKind, RawEvent};
+use crate::ring::EventRing;
+
+/// Owns the per-worker rings and the run-epoch clock for one traced run.
+///
+/// Lifecycle: create with [`TraceCollector::new`], hand each worker its
+/// [`WorkerHandle`] (the handles borrow the collector, so workers must be
+/// scoped threads or the collector must be shared via `Arc`), then — after
+/// every worker has been joined — call [`TraceCollector::finish`] to drain
+/// the rings into a [`Trace`].
+pub struct TraceCollector {
+    rings: Vec<EventRing>,
+    clock: TraceClock,
+}
+
+/// A single worker's recording endpoint. Cheap to copy into the worker's
+/// hot loop; `emit` stamps the shared run-epoch clock and pushes into the
+/// worker's own SPSC ring.
+#[derive(Clone, Copy)]
+pub struct WorkerHandle<'a> {
+    ring: &'a EventRing,
+    clock: TraceClock,
+}
+
+impl WorkerHandle<'_> {
+    /// Record `kind` now. Wait-free (clock read + ring push).
+    #[inline]
+    pub fn emit(&self, kind: EventKind) {
+        self.ring.push(RawEvent::encode(self.clock.now(), kind));
+    }
+}
+
+impl TraceCollector {
+    /// A collector with one ring of `capacity` events per worker.
+    pub fn new(workers: usize, capacity: usize) -> TraceCollector {
+        TraceCollector {
+            rings: (0..workers)
+                .map(|_| EventRing::with_capacity(capacity))
+                .collect(),
+            clock: TraceClock::start(),
+        }
+    }
+
+    /// Number of worker rings.
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The recording endpoint for `worker`. Each worker must use only its
+    /// own handle — that is what makes the rings single-producer.
+    pub fn handle(&self, worker: usize) -> WorkerHandle<'_> {
+        WorkerHandle {
+            ring: &self.rings[worker],
+            clock: self.clock,
+        }
+    }
+
+    /// Record an event for `worker` at an explicit timestamp. This is the
+    /// simulator's entry point (virtual nanoseconds); the threaded runtime
+    /// uses [`WorkerHandle::emit`] instead. Not safe to mix with a live
+    /// handle on another thread for the same worker.
+    pub fn emit_at(&self, worker: usize, ts: u64, kind: EventKind) {
+        self.rings[worker].push(RawEvent::encode(ts, kind));
+    }
+
+    /// Drain every ring into an immutable trace. Callers must ensure all
+    /// workers have quiesced (joined) first; `finish` consumes the
+    /// collector so no handle can outlive it.
+    pub fn finish(mut self) -> Trace {
+        let workers = self
+            .rings
+            .iter_mut()
+            .enumerate()
+            .map(|(worker, ring)| WorkerTrace {
+                worker,
+                dropped: ring.dropped(),
+                events: ring.drain(),
+            })
+            .collect();
+        Trace { workers }
+    }
+}
+
+/// The drained event stream of one worker, oldest-first.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Worker id (index into the run's worker set).
+    pub worker: usize,
+    /// Events in emission order.
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow (0 means the stream is complete).
+    pub dropped: u64,
+}
+
+/// A complete drained trace: one stream per worker plus the run epoch
+/// implied by timestamp zero.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Per-worker streams, indexed by worker id.
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl Trace {
+    /// Total events across all workers.
+    pub fn len(&self) -> usize {
+        self.workers.iter().map(|w| w.events.len()).sum()
+    }
+
+    /// True when no worker recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events lost to ring overflow across all workers.
+    pub fn total_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.dropped).sum()
+    }
+
+    /// All events of every worker as `(worker, event)`, merged and sorted
+    /// by timestamp (ties broken by worker id, then emission order, which
+    /// a stable sort preserves).
+    pub fn merged(&self) -> Vec<(usize, Event)> {
+        let mut all: Vec<(usize, Event)> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.events.iter().map(move |e| (w.worker, *e)))
+            .collect();
+        all.sort_by_key(|(w, e)| (e.ts, *w));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn handles_record_into_their_own_rings() {
+        let collector = TraceCollector::new(3, 64);
+        collector.handle(0).emit(EventKind::Push);
+        collector.handle(2).emit(EventKind::Pop);
+        collector.handle(2).emit(EventKind::Pop);
+        let trace = collector.finish();
+        assert_eq!(trace.workers[0].events.len(), 1);
+        assert_eq!(trace.workers[1].events.len(), 0);
+        assert_eq!(trace.workers[2].events.len(), 2);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.total_dropped(), 0);
+    }
+
+    #[test]
+    fn emit_at_uses_the_given_timestamp() {
+        let collector = TraceCollector::new(1, 64);
+        collector.emit_at(0, 12345, EventKind::FakeTask { depth: 2 });
+        let trace = collector.finish();
+        assert_eq!(trace.workers[0].events[0].ts, 12345);
+    }
+
+    #[test]
+    fn merged_is_sorted_by_timestamp() {
+        let collector = TraceCollector::new(2, 64);
+        collector.emit_at(0, 30, EventKind::Push);
+        collector.emit_at(1, 10, EventKind::Pop);
+        collector.emit_at(0, 20, EventKind::Push);
+        let merged = collector.finish().merged();
+        let ts: Vec<u64> = merged.iter().map(|(_, e)| e.ts).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn concurrent_workers_then_finish() {
+        let collector = std::sync::Arc::new(TraceCollector::new(4, 4096));
+        let mut joins = Vec::new();
+        for w in 0..4 {
+            let c = std::sync::Arc::clone(&collector);
+            joins.push(std::thread::spawn(move || {
+                let h = c.handle(w);
+                for i in 0..1000 {
+                    h.emit(EventKind::Spawn { depth: i as u32 });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let collector = std::sync::Arc::try_unwrap(collector)
+            .ok()
+            .expect("sole owner");
+        let trace = collector.finish();
+        assert_eq!(trace.len(), 4000);
+        assert_eq!(trace.total_dropped(), 0);
+        for w in &trace.workers {
+            assert!(w.events.windows(2).all(|p| p[0].ts <= p[1].ts));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Lock-free event tracing for the AdaptiveTC runtime.
+//!
+//! The paper's argument is about *when* things happen — when a worker
+//! demotes spawns to fake tasks, when `need_task` pressure triggers a
+//! special transition, when thieves actually get work — but `RunStats`
+//! only reports end-of-run totals. This crate adds the missing time
+//! dimension:
+//!
+//! * [`event`] — the compact 16-byte event schema shared by the threaded
+//!   runtime and the discrete-event simulator, plus the legal FSM edge
+//!   set derived from the paper's version walk.
+//! * [`ring`] — per-worker SPSC rings: wait-free producer, drop-oldest
+//!   overflow with a dropped counter, quiescent drain.
+//! * [`clock`] — run-epoch monotonic timestamps (the sim stamps virtual
+//!   time instead).
+//! * [`collector`] — one ring per worker, per-worker [`WorkerHandle`]s,
+//!   drained into an immutable [`Trace`].
+//! * [`chrome`] — `chrome://tracing` / Perfetto JSON export.
+//! * [`analysis`] — steal-provenance tree, per-state dwell times,
+//!   steal-latency and deque-occupancy histograms, aggregate counts.
+//! * [`validate`] — the differential oracle: trace-derived counts must
+//!   equal `RunStats` exactly, per worker and in aggregate.
+//! * [`diff`] — real-vs-simulated stream comparison over the shared
+//!   schema subset.
+//!
+//! The runtime integration lives in `adaptivetc-runtime` behind its
+//! `trace` cargo feature and the `Config::trace` runtime flag; with the
+//! feature off this crate is not even compiled.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+pub mod clock;
+pub mod collector;
+pub mod diff;
+pub mod event;
+pub mod ring;
+pub mod validate;
+
+pub use analysis::{
+    deque_occupancy, dwell_times, steal_latency, Dwell, Histogram, StealTree, TraceCounts,
+};
+pub use chrome::to_chrome_json;
+pub use clock::TraceClock;
+pub use collector::{Trace, TraceCollector, WorkerHandle, WorkerTrace};
+pub use diff::TraceDiff;
+pub use event::{legal_fsm_edge, Event, EventKind, FsmState, RawEvent};
+pub use validate::{assert_valid, validate, Mismatch};

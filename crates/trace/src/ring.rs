@@ -1,0 +1,200 @@
+//! Per-worker SPSC event ring.
+//!
+//! One [`EventRing`] belongs to exactly one producer (the worker thread
+//! that records into it). The hot-path contract is deliberately narrow so
+//! that [`EventRing::push`] is wait-free:
+//!
+//! * **Single producer.** Only the owning worker calls `push`. Both the
+//!   head (oldest live slot) and the tail (next free slot) are advanced
+//!   by the producer alone — on overflow the *producer* performs the
+//!   drop-oldest step (advance head, bump the `dropped` counter), so no
+//!   consumer coordination exists on the hot path at all.
+//! * **Quiescent consumer.** [`EventRing::drain`] is only called after
+//!   the worker threads have been joined (the collector's `finish`
+//!   consumes `self`), so the relaxed atomics need only establish
+//!   ordering through the join, which `std::thread::join` provides.
+//!
+//! Slots are plain [`RawEvent`]s in `UnsafeCell`s; head/tail/dropped are
+//! `CachePadded` atomics so two adjacent workers' rings never false-share
+//! their control words.
+
+use crate::event::{Event, RawEvent};
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum ring capacity; smaller requests are rounded up.
+pub const MIN_CAPACITY: usize = 16;
+
+/// A fixed-capacity single-producer event buffer with drop-oldest
+/// overflow semantics.
+pub struct EventRing {
+    slots: Box<[UnsafeCell<RawEvent>]>,
+    mask: u64,
+    /// Oldest live slot index (monotonically increasing, not wrapped).
+    head: CachePadded<AtomicU64>,
+    /// Next free slot index (monotonically increasing, not wrapped).
+    tail: CachePadded<AtomicU64>,
+    /// Events overwritten because the ring was full.
+    dropped: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the slot cells are only written by the single producer thread
+// and only read by `drain`, which requires `&mut self` — so at any point
+// in time at most one thread touches a given cell, and the handoff from
+// producer to consumer is ordered by the thread join that precedes
+// draining (see the module docs).
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// Create a ring holding at least `capacity` events (rounded up to a
+    /// power of two, minimum [`MIN_CAPACITY`]).
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        let cap = capacity.max(MIN_CAPACITY).next_power_of_two();
+        let slots: Vec<UnsafeCell<RawEvent>> =
+            (0..cap).map(|_| UnsafeCell::new(RawEvent::ZERO)).collect();
+        EventRing {
+            slots: slots.into_boxed_slice(),
+            mask: (cap - 1) as u64,
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            dropped: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record one event. Wait-free; on a full ring the oldest event is
+    /// overwritten and the dropped counter incremented.
+    ///
+    /// # Safety contract (not enforced by the type system)
+    /// Must only be called from the single producer thread that owns this
+    /// ring; the collector hands out one [`WorkerHandle`] per worker to
+    /// uphold this.
+    ///
+    /// [`WorkerHandle`]: crate::collector::WorkerHandle
+    pub fn push(&self, ev: RawEvent) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        if tail - head == self.slots.len() as u64 {
+            // Full: drop the oldest. Only the producer moves head, so a
+            // plain store is race-free.
+            self.head.store(head + 1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = (tail & self.mask) as usize;
+        // SAFETY: single producer (contract above); no concurrent reader
+        // until quiescent drain.
+        unsafe { *self.slots[idx].get() = ev };
+        self.tail.store(tail + 1, Ordering::Release);
+    }
+
+    /// Events overwritten so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of live events currently buffered.
+    pub fn len(&self) -> usize {
+        (self.tail.load(Ordering::Relaxed) - self.head.load(Ordering::Relaxed)) as usize
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decode the live events oldest-first. Requires exclusive access —
+    /// i.e. the producer has quiesced (worker joined).
+    pub fn drain(&mut self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut out = Vec::with_capacity((tail - head) as usize);
+        for i in head..tail {
+            let idx = (i & self.mask) as usize;
+            // SAFETY: exclusive access via &mut self.
+            let raw = unsafe { *self.slots[idx].get() };
+            out.push(Event {
+                ts: raw.ts,
+                kind: raw.decode(),
+            });
+        }
+        self.head.store(tail, Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), MIN_CAPACITY);
+        assert_eq!(EventRing::with_capacity(17).capacity(), 32);
+        assert_eq!(EventRing::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let mut ring = EventRing::with_capacity(64);
+        for i in 0..10u64 {
+            ring.push(RawEvent::encode(i, EventKind::Spawn { depth: i as u32 }));
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 10);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.ts, i as u64);
+            assert_eq!(ev.kind, EventKind::Spawn { depth: i as u32 });
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut ring = EventRing::with_capacity(16);
+        for i in 0..40u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        assert_eq!(ring.dropped(), 40 - 16);
+        let events = ring.drain();
+        assert_eq!(events.len(), 16);
+        // The survivors are the newest 16, oldest-first.
+        assert_eq!(events.first().unwrap().ts, 24);
+        assert_eq!(events.last().unwrap().ts, 39);
+    }
+
+    #[test]
+    fn drain_resets_ring() {
+        let mut ring = EventRing::with_capacity(16);
+        ring.push(RawEvent::encode(1, EventKind::Pop));
+        assert_eq!(ring.drain().len(), 1);
+        assert_eq!(ring.drain().len(), 0);
+        ring.push(RawEvent::encode(2, EventKind::Pop));
+        assert_eq!(ring.drain().len(), 1);
+    }
+
+    #[test]
+    fn cross_thread_handoff_after_join() {
+        let ring = std::sync::Arc::new(EventRing::with_capacity(1024));
+        let producer = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    ring.push(RawEvent::encode(i, EventKind::Push));
+                }
+            })
+        };
+        producer.join().unwrap();
+        let mut ring = std::sync::Arc::try_unwrap(ring).ok().expect("sole owner");
+        let events = ring.drain();
+        assert_eq!(events.len(), 500);
+        assert!(events.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+}

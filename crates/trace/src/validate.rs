@@ -1,0 +1,218 @@
+//! Differential validation: trace-derived counts must equal the engine's
+//! `RunStats` counters exactly — per worker and in aggregate.
+//!
+//! This is the acceptance oracle for the instrumentation itself: every
+//! counter the engine bumps has a twin event, so any missed or spurious
+//! emission shows up as a mismatch here.
+
+use crate::analysis::TraceCounts;
+use crate::collector::Trace;
+use adaptivetc_core::stats::{RunReport, RunStats};
+
+/// One discrepancy between the trace and the stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// `None` for the aggregate check, `Some(w)` for worker `w`.
+    pub worker: Option<usize>,
+    /// Which counter disagreed.
+    pub counter: &'static str,
+    /// Count derived from the trace.
+    pub traced: u64,
+    /// Counter reported by `RunStats`.
+    pub stats: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.worker {
+            Some(w) => write!(
+                f,
+                "worker {w}: {} traced={} stats={}",
+                self.counter, self.traced, self.stats
+            ),
+            None => write!(
+                f,
+                "aggregate: {} traced={} stats={}",
+                self.counter, self.traced, self.stats
+            ),
+        }
+    }
+}
+
+fn check(
+    out: &mut Vec<Mismatch>,
+    worker: Option<usize>,
+    counter: &'static str,
+    traced: u64,
+    stats: u64,
+) {
+    if traced != stats {
+        out.push(Mismatch {
+            worker,
+            counter,
+            traced,
+            stats,
+        });
+    }
+}
+
+fn compare(out: &mut Vec<Mismatch>, worker: Option<usize>, c: &TraceCounts, s: &RunStats) {
+    check(out, worker, "tasks_created", c.spawns, s.tasks_created);
+    check(
+        out,
+        worker,
+        "deque_pushes",
+        c.pushes + c.special_pushes,
+        s.deque_pushes,
+    );
+    check(
+        out,
+        worker,
+        "deque_pops",
+        c.pops + c.special_reclaimed,
+        s.deque_pops,
+    );
+    check(
+        out,
+        worker,
+        "pop_conflicts",
+        c.pop_conflicts + c.special_lost,
+        s.pop_conflicts,
+    );
+    check(out, worker, "steals_ok", c.steals_ok, s.steals_ok);
+    check(
+        out,
+        worker,
+        "steals_failed",
+        c.steals_empty,
+        s.steals_failed,
+    );
+    check(out, worker, "fake_tasks", c.fake_tasks, s.fake_tasks);
+    check(
+        out,
+        worker,
+        "special_tasks",
+        c.special_begins,
+        s.special_tasks,
+    );
+    check(
+        out,
+        worker,
+        "workspace_copies_saved",
+        c.copies_saved,
+        s.workspace_copies_saved,
+    );
+    check(out, worker, "suspensions", c.suspends, s.suspensions);
+}
+
+/// Validate `trace` against `report`. Returns every mismatch found (empty
+/// means the trace and the stats agree exactly). A non-zero dropped-event
+/// count invalidates the comparison and is reported as a mismatch on the
+/// pseudo-counter `dropped_events`.
+pub fn validate(trace: &Trace, report: &RunReport) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for w in &trace.workers {
+        if w.dropped > 0 {
+            out.push(Mismatch {
+                worker: Some(w.worker),
+                counter: "dropped_events",
+                traced: w.dropped,
+                stats: 0,
+            });
+        }
+    }
+    // Per-worker comparison when the report carries per-worker stats.
+    if report.per_worker.len() == trace.workers.len() {
+        for (w, stats) in trace.workers.iter().zip(report.per_worker.iter()) {
+            let counts = TraceCounts::from_events(w.events.iter());
+            compare(&mut out, Some(w.worker), &counts, stats);
+        }
+    }
+    let total = TraceCounts::from_trace(trace);
+    compare(&mut out, None, &total, &report.stats);
+    out
+}
+
+/// Panic with a readable report if `validate` finds any mismatch.
+pub fn assert_valid(trace: &Trace, report: &RunReport) {
+    let mismatches = validate(trace, report);
+    if !mismatches.is_empty() {
+        let lines: Vec<String> = mismatches.iter().map(|m| format!("  {m}")).collect();
+        panic!(
+            "trace/stats differential failed ({} mismatches):\n{}",
+            mismatches.len(),
+            lines.join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::TraceCollector;
+    use crate::event::EventKind;
+
+    fn report_for(stats: Vec<RunStats>) -> RunReport {
+        RunReport::from_workers(stats, 0)
+    }
+
+    #[test]
+    fn matching_trace_validates_clean() {
+        let c = TraceCollector::new(1, 256);
+        c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
+        c.emit_at(0, 2, EventKind::Push);
+        c.emit_at(0, 3, EventKind::Pop);
+        c.emit_at(0, 4, EventKind::FakeTask { depth: 3 });
+        let s = RunStats {
+            tasks_created: 1,
+            deque_pushes: 1,
+            deque_pops: 1,
+            fake_tasks: 1,
+            ..Default::default()
+        };
+        let mismatches = validate(&c.finish(), &report_for(vec![s]));
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+    }
+
+    #[test]
+    fn special_events_fold_into_deque_counters() {
+        let c = TraceCollector::new(1, 256);
+        c.emit_at(0, 1, EventKind::Push);
+        c.emit_at(0, 2, EventKind::SpecialPush);
+        c.emit_at(0, 3, EventKind::Pop);
+        c.emit_at(0, 4, EventKind::SpecialConsume { reclaimed: true });
+        c.emit_at(0, 5, EventKind::SpecialConsume { reclaimed: false });
+        let s = RunStats {
+            deque_pushes: 2,
+            deque_pops: 2,
+            pop_conflicts: 1,
+            ..Default::default()
+        };
+        let mismatches = validate(&c.finish(), &report_for(vec![s]));
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+    }
+
+    #[test]
+    fn mismatch_is_reported_per_worker_and_aggregate() {
+        let c = TraceCollector::new(1, 256);
+        c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
+        let s = RunStats::default(); // claims zero tasks
+        let mismatches = validate(&c.finish(), &report_for(vec![s]));
+        assert_eq!(mismatches.len(), 2); // worker 0 + aggregate
+        assert_eq!(mismatches[0].counter, "tasks_created");
+        assert_eq!(mismatches[0].worker, Some(0));
+        assert_eq!(mismatches[1].worker, None);
+        assert_eq!(
+            format!("{}", mismatches[0]),
+            "worker 0: tasks_created traced=1 stats=0"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "trace/stats differential failed")]
+    fn assert_valid_panics_on_mismatch() {
+        let c = TraceCollector::new(1, 256);
+        c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
+        assert_valid(&c.finish(), &report_for(vec![RunStats::default()]));
+    }
+}

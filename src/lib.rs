@@ -13,6 +13,9 @@
 //! * [`sim`] — a deterministic discrete-event simulator running the same
 //!   policies over virtual workers (used for the multi-core figures on
 //!   machines without eight cores);
+//! * [`trace`] — lock-free per-worker event tracing shared by the runtime
+//!   and the simulator, with Chrome-trace export, steal-provenance trees
+//!   and a trace↔stats differential validator;
 //! * [`workloads`] — the paper's Table 1 benchmarks and the synthetic
 //!   unbalanced trees of Table 3.
 //!
@@ -39,4 +42,6 @@ pub use adaptivetc_core as core;
 pub use adaptivetc_deque as deque;
 pub use adaptivetc_runtime as runtime;
 pub use adaptivetc_sim as sim;
+#[cfg(feature = "trace")]
+pub use adaptivetc_trace as trace;
 pub use adaptivetc_workloads as workloads;

@@ -1,0 +1,161 @@
+//! Differential validation of the event-tracing subsystem: the trace is
+//! an independent witness of the run, so every count it implies must
+//! equal the `RunStats` the engine accumulated — per worker and in
+//! aggregate, for every deque backend and scheduling mode — and the
+//! simulator's stream must diff exactly against the threaded engine's
+//! over the shared schema at one thread.
+
+#![cfg(feature = "trace")]
+
+use adaptivetc_suite::core::{Config, CutoffPolicy, DequeBackend, WorkspacePolicy};
+use adaptivetc_suite::runtime::Scheduler;
+use adaptivetc_suite::sim::{simulate_traced, CostModel, Policy, SimTree};
+use adaptivetc_suite::trace::{to_chrome_json, validate, TraceDiff};
+use adaptivetc_suite::workloads::fig1::Fig1Tree;
+use adaptivetc_suite::workloads::nqueens::NqueensArray;
+
+/// The acceptance matrix: fig1 and nqueens across every deque backend,
+/// thread counts with real stealing, and the schedulers that exercise
+/// the distinct engine modes (including plain Cilk — tracing is not an
+/// AdaptiveTC-only facility).
+#[test]
+fn trace_counts_equal_runstats() {
+    let fig1 = Fig1Tree::new();
+    let queens = NqueensArray::new(7);
+    for scheduler in [
+        Scheduler::AdaptiveTc,
+        Scheduler::Cilk,
+        Scheduler::CutoffLibrary,
+    ] {
+        for backend in DequeBackend::ALL {
+            for threads in [1usize, 2, 4] {
+                let cfg = Config::new(threads)
+                    .trace(true)
+                    .backend(backend)
+                    .max_stolen_num(2)
+                    .seed(42 + threads as u64);
+                for (label, trace, report) in [
+                    {
+                        let (out, report, trace) = scheduler
+                            .run_traced(&fig1, &cfg.clone().cutoff(CutoffPolicy::Fixed(2)))
+                            .expect("fig1 run");
+                        assert_eq!(out, Fig1Tree::LEAVES);
+                        ("fig1", trace, report)
+                    },
+                    {
+                        let (out, report, trace) =
+                            scheduler.run_traced(&queens, &cfg).expect("nqueens run");
+                        assert_eq!(out, 40, "nqueens(7) solutions");
+                        ("nqueens", trace, report)
+                    },
+                ] {
+                    let trace = trace.expect("Config::trace is set");
+                    assert_eq!(trace.workers.len(), threads);
+                    assert_eq!(trace.total_dropped(), 0, "ring sized for the workload");
+                    let mismatches = validate(&trace, &report);
+                    assert!(
+                        mismatches.is_empty(),
+                        "{label}/{scheduler}/{}/{threads}t:\n{}",
+                        backend.name(),
+                        mismatches
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Copy-on-steal emits its own event family (`WsRequest`/`WsDeposit`/
+/// `WsTake`/`CopySaved`); the count identities must survive the handshake.
+#[test]
+fn trace_counts_equal_runstats_copy_on_steal() {
+    let queens = NqueensArray::new(7);
+    let cfg = Config::new(4)
+        .trace(true)
+        .workspace(WorkspacePolicy::CopyOnSteal)
+        .max_stolen_num(2)
+        .seed(11);
+    let (out, report, trace) = Scheduler::AdaptiveTc
+        .run_traced(&queens, &cfg)
+        .expect("nqueens run");
+    assert_eq!(out, 40);
+    let trace = trace.expect("Config::trace is set");
+    let mismatches = validate(&trace, &report);
+    assert!(
+        mismatches.is_empty(),
+        "{}",
+        mismatches
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stats.workspace_copies_saved > 0,
+        "copy-on-steal must elide clones on this workload"
+    );
+}
+
+/// Tracing stays opt-in: without `Config::trace` the engine runs
+/// untraced and `run_traced` returns `None`.
+#[test]
+fn tracing_is_opt_in() {
+    let fig1 = Fig1Tree::new();
+    let (out, _, trace) = Scheduler::AdaptiveTc
+        .run_traced(&fig1, &Config::new(2))
+        .expect("fig1 run");
+    assert_eq!(out, Fig1Tree::LEAVES);
+    assert!(trace.is_none());
+}
+
+/// At one thread both engines are deterministic and emit the shared
+/// schema with identical counts: the trace-vs-sim diff must be exact on
+/// the paper's Figure 1 tree.
+#[test]
+fn fig1_trace_diff_real_vs_sim_is_exact() {
+    let tree = Fig1Tree::new();
+    let cfg = Config::new(1)
+        .trace(true)
+        .cutoff(CutoffPolicy::Fixed(2))
+        .seed(42);
+    let (out, _, real) = Scheduler::AdaptiveTc
+        .run_traced(&tree, &cfg)
+        .expect("fig1 run");
+    assert_eq!(out, Fig1Tree::LEAVES);
+    let real = real.expect("Config::trace is set");
+
+    let sim_tree = SimTree::from_problem(&tree);
+    let (sim_out, sim) =
+        simulate_traced(&sim_tree, Policy::AdaptiveTc, &cfg, CostModel::calibrated());
+    assert_eq!(sim_out.leaves, Fig1Tree::LEAVES);
+    let sim = sim.expect("Config::trace is set");
+
+    let diff = TraceDiff::compare(&real, &sim);
+    assert!(diff.is_exact(), "\n{}", diff.render());
+}
+
+/// The Chrome export of a real multi-threaded run is structurally valid
+/// JSON with one metadata record per worker thread.
+#[test]
+fn chrome_export_of_nqueens_run() {
+    let queens = NqueensArray::new(7);
+    let cfg = Config::new(4).trace(true).max_stolen_num(2).seed(5);
+    let (_, _, trace) = Scheduler::AdaptiveTc
+        .run_traced(&queens, &cfg)
+        .expect("nqueens run");
+    let trace = trace.expect("Config::trace is set");
+    let json = to_chrome_json(&trace);
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+    for w in 0..4 {
+        assert!(
+            json.contains(&format!("\"name\":\"worker {w}\"")),
+            "missing thread_name metadata for worker {w}"
+        );
+    }
+}
