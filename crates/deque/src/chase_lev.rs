@@ -63,13 +63,31 @@ impl<T> Buffer<T> {
         Box::into_raw(Box::new(Buffer { cap, slots }))
     }
 
+    /// # Safety
+    ///
+    /// The caller must guarantee `index` was initialised by a prior
+    /// `write` and not yet retired. Reads may be speculative (top may
+    /// advance concurrently); a caller that loses the claiming CAS must
+    /// `mem::forget` the value so the true owner's copy is the only one
+    /// dropped.
     unsafe fn read(&self, index: i64) -> Entry<T> {
         let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        // SAFETY: initialisation of the slot is the caller's contract
+        // (above); the `& (cap - 1)` mask keeps the access in bounds for
+        // the power-of-two buffer.
         unsafe { (*slot.get()).assume_init_read() }
     }
 
+    /// # Safety
+    ///
+    /// Only the owner may call this, and only for an index in the open
+    /// region `[top, bottom]` of the buffer that no concurrent reader can
+    /// observe as initialised yet (bottom is published only after the
+    /// write).
     unsafe fn write(&self, index: i64, entry: Entry<T>) {
         let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        // SAFETY: exclusive owner access per the contract above; masked
+        // index is in bounds.
         unsafe {
             (*slot.get()).write(entry);
         }
@@ -160,6 +178,9 @@ impl<T> ChaseLevDeque<T> {
 
     /// Current buffer capacity (for the growth tests).
     pub fn capacity(&self) -> usize {
+        // SAFETY: `buffer` always points to a live allocation — buffers
+        // are only retired in `drop`, which has `&mut self`, so no
+        // concurrent call can observe a dangling pointer.
         unsafe { (*self.buffer.load(Ordering::Relaxed)).cap }
     }
 
@@ -293,8 +314,10 @@ impl<T> ChaseLevDeque<T> {
                 return ClSteal::Empty;
             }
             let buf = self.buffer.load(Ordering::Acquire);
-            // Speculatively read, then claim with a CAS; on failure the
-            // value must be forgotten (another party owns the slot).
+            // SAFETY: speculative read of index `t`, which `t < b` proved
+            // initialised; the claim is validated by the CAS below, and on
+            // failure the value is forgotten (another party owns the
+            // slot), so no double drop can occur.
             let entry = unsafe { (*buf).read(t) };
             if entry.special {
                 if t + 1 >= b {
@@ -305,9 +328,12 @@ impl<T> ChaseLevDeque<T> {
                 // Peek the child's tag before claiming anything: two
                 // adjacent specials cannot arise from the five-version FSM,
                 // so refuse defensively rather than retire a chain of
-                // specials (mirrors the THE deque's behaviour). The read is
-                // speculative, like the top read — index t+1 cannot be
-                // reclaimed before index t, which the CAS below validates.
+                // specials (mirrors the THE deque's behaviour).
+                // SAFETY: speculative read like the top read — `t + 1 < b`
+                // proved the index initialised, index t+1 cannot be
+                // reclaimed before index t (which the CAS below
+                // validates), and the value is forgotten immediately so it
+                // is never dropped here.
                 let above = unsafe { (*buf).read(t + 1) };
                 let above_is_special = above.special;
                 std::mem::forget(above);

@@ -1,7 +1,7 @@
 //! A growable deque with THE-protocol-compatible semantics.
 
+use crate::sync::Mutex;
 use crate::the::{PopSpecial, StealOutcome};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 

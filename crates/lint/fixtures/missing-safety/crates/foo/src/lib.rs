@@ -1,0 +1,4 @@
+//! Fixture: an `unsafe` block with no adjacent SAFETY comment.
+pub fn deref(p: *const u32) -> u32 {
+    unsafe { *p }
+}

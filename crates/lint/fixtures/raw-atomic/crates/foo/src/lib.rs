@@ -1,0 +1,6 @@
+//! Fixture: a raw atomic import outside any `crate::sync` facade.
+use std::sync::atomic::AtomicU64;
+
+pub fn make() -> AtomicU64 {
+    AtomicU64::new(0)
+}

@@ -1,0 +1,4 @@
+//! Fixture: no `Ordering::` sites at all — the manifest entry is stale.
+pub fn id(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,6 @@
+//! Fixture: a clock read on a hot-path file outside the `trace` gate.
+use std::time::Instant;
+
+pub fn hot() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+//! Fixture: an `Ordering::` site the manifest does not know about.
+pub mod sync {
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+}
+use sync::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

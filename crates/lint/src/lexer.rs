@@ -1,0 +1,387 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! This is not a full Rust lexer — it is the minimal scanner the lint
+//! rules need: it distinguishes identifiers, string literals and single
+//! punctuation characters, skips numeric literals, lifetimes and
+//! whitespace, and records comments (line, block, doc) in a side list with
+//! their line extents so the unsafe-hygiene rule can test adjacency.
+//! Crucially, text inside string literals and comments never produces
+//! identifier tokens, so a pattern like `std::sync::atomic` quoted in a
+//! diagnostic message (or in this very crate) is not a finding.
+
+/// What a token is. Only the distinctions the checks consume survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`Ordering`, `unsafe`, `fn`, ...).
+    Ident(String),
+    /// A string literal with its decoded-enough contents (escapes are kept
+    /// verbatim; the checks only compare short plain values like "trace").
+    Str(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+/// One comment (line `//`, doc `///` / `//!`, or block `/* */`, nesting
+/// included) with its 1-based line extent and raw text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// First line of the comment.
+    pub start: u32,
+    /// Last line of the comment.
+    pub end: u32,
+    /// Raw text including the comment markers.
+    pub text: String,
+}
+
+/// Scan `src` into tokens and a side list of comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if (c as char).is_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    start: line,
+                    end: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    start: start_line,
+                    end: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                let (text, ni, nl) = scan_string(src, i, line);
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str(text),
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` / `'static` / `'_` are
+                // lifetimes; `'a'`, `'\n'`, `'\u{1F600}'` are char literals.
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if (n as char).is_alphabetic() || n == b'_')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    i += 2;
+                    while i < b.len() && ((b[i] as char).is_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal: skip to the closing quote, honouring
+                    // backslash escapes.
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            _ if (c as char).is_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw-string / byte-string / raw-identifier prefixes.
+                let peek = b.get(i).copied();
+                match (ident, peek) {
+                    ("r" | "br" | "rb", Some(b'"' | b'#')) => {
+                        if ident == "r" && peek == Some(b'#') {
+                            // Could be a raw identifier r#match rather than
+                            // a raw string r#"...".
+                            let after_hashes = {
+                                let mut j = i;
+                                while j < b.len() && b[j] == b'#' {
+                                    j += 1;
+                                }
+                                b.get(j).copied()
+                            };
+                            if after_hashes != Some(b'"') {
+                                // Raw identifier: consume `#ident`.
+                                i += 1;
+                                let rs = i;
+                                while i < b.len()
+                                    && ((b[i] as char).is_alphanumeric() || b[i] == b'_')
+                                {
+                                    i += 1;
+                                }
+                                toks.push(Tok {
+                                    line,
+                                    kind: TokKind::Ident(src[rs..i].to_string()),
+                                });
+                                continue;
+                            }
+                        }
+                        let tok_line = line;
+                        let (text, ni, nl) = scan_raw_string(src, i, line);
+                        toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Str(text),
+                        });
+                        i = ni;
+                        line = nl;
+                    }
+                    ("b", Some(b'"')) => {
+                        let tok_line = line;
+                        let (text, ni, nl) = scan_string(src, i + 1, line);
+                        toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Str(text),
+                        });
+                        i = ni;
+                        line = nl;
+                    }
+                    ("b", Some(b'\'')) => {
+                        // Byte char literal.
+                        i += 2;
+                        while i < b.len() {
+                            match b[i] {
+                                b'\\' => i += 2,
+                                b'\'' => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                    }
+                    _ => toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(ident.to_string()),
+                    }),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal: digits, underscores, a fractional part
+                // only when followed by a digit (so `1.max(2)` keeps its
+                // method call), then any alphanumeric suffix (0x.., 1u64,
+                // 1e9). Exponent signs split off harmlessly as punctuation.
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Scan a normal `"..."` string starting at the opening quote index.
+/// Returns (contents, next index, next line).
+fn scan_string(src: &str, open: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut i = open + 1;
+    let start = i;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return (src[start..i].to_string(), i + 1, line);
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..i.min(src.len())].to_string(), i, line)
+}
+
+/// Scan a raw string starting at the first `#` or `"` after the prefix.
+fn scan_raw_string(src: &str, mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < b.len() && b[i] == b'"');
+    i += 1; // opening quote
+    let start = i;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (src[start..i].to_string(), j, line);
+            }
+        }
+        i += 1;
+    }
+    (src[start..i.min(src.len())].to_string(), i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let src = r##"
+            // std::sync::atomic in a comment
+            /* parking_lot in /* a nested */ block */
+            let s = "std::sync::atomic";
+            let r = r#"parking_lot"#;
+            let c = 'x';
+            let lt: &'static str = "y";
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"static".to_string())); // lifetimes emit no tokens
+        assert!(!ids.contains(&"atomic".to_string()));
+        assert!(!ids.contains(&"parking_lot".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/*\n*/\nb\n\"x\ny\"\nc";
+        let toks = lex(src).0;
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokKind::Ident(name.to_string()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn comment_extents_recorded() {
+        let src = "x\n// SAFETY: fine\ny\n/* multi\nline */\nz";
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+        assert_eq!((comments[0].start, comments[0].end), (2, 2));
+        assert!(comments[0].text.contains("SAFETY"));
+        assert_eq!((comments[1].start, comments[1].end), (4, 5));
+    }
+
+    #[test]
+    fn float_method_calls_survive() {
+        let ids = idents("let x = 1.max(2); let y = 1.5f64;");
+        assert!(ids.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn path_tokens_come_through() {
+        let toks = lex("std::sync::atomic::AtomicU64").0;
+        let shape: Vec<String> = toks
+            .iter()
+            .map(|t| match &t.kind {
+                TokKind::Ident(s) => s.clone(),
+                TokKind::Punct(c) => c.to_string(),
+                TokKind::Str(_) => "<str>".into(),
+            })
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                "std",
+                ":",
+                ":",
+                "sync",
+                ":",
+                ":",
+                "atomic",
+                ":",
+                ":",
+                "AtomicU64"
+            ]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! CLI for the concurrency-invariant analyzer.
+//!
+//! ```text
+//! cargo run -p adaptivetc-lint              # check; exit 1 on findings
+//! cargo run -p adaptivetc-lint -- --bless   # regenerate ORDERINGS.toml + DESIGN table
+//! cargo run -p adaptivetc-lint -- --root P  # analyze the workspace at P
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut bless = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "adaptivetc-lint: concurrency-invariant static analyzer\n\n\
+                     USAGE: adaptivetc-lint [--root PATH] [--bless]\n\n\
+                     Default mode checks facade integrity, the ORDERINGS.toml memory-ordering\n\
+                     audit, unsafe hygiene and trace discipline; exits 1 on findings.\n\
+                     --bless regenerates ORDERINGS.toml (preserving justifications) and the\n\
+                     generated DESIGN.md audit table."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| adaptivetc_lint::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "could not locate the workspace root (no Cargo.toml with [workspace]); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if bless {
+        match adaptivetc_lint::bless(&root) {
+            Ok(report) => {
+                println!(
+                    "blessed: {} Ordering:: sites → {} manifest entries ({} still unjustified){}",
+                    report.sites,
+                    report.entries,
+                    report.unjustified,
+                    if report.design_updated {
+                        "; DESIGN.md audit table rewritten"
+                    } else {
+                        ""
+                    }
+                );
+                if report.unjustified > 0 {
+                    println!(
+                        "fill in every empty `why = \"\"` in {} — the check mode fails on unjustified entries",
+                        adaptivetc_lint::ORDERINGS_FILE
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        match adaptivetc_lint::analyze(&root) {
+            Ok(findings) if findings.is_empty() => {
+                println!("adaptivetc-lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("adaptivetc-lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("analysis failed: {e}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The memory-ordering audit: every `Ordering::` site under `crates/`
+//! must be matched by a justified entry in `ORDERINGS.toml`.
+//!
+//! Sites are keyed by `(file, enclosing symbol, ordering)` with an
+//! occurrence count rather than by line number, so routine edits that only
+//! shift lines never invalidate the manifest — but adding, removing or
+//! changing an ordering anywhere does, which is exactly the review nudge
+//! the audit exists to produce.
+
+use crate::model::{Finding, Rule, SourceFile};
+use crate::rules::path_at;
+use crate::toml::{self, quote};
+use std::collections::BTreeMap;
+
+/// The five orderings (plus fences, which reuse the same tokens).
+pub const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Name of the manifest file at the workspace root.
+pub const ORDERINGS_FILE: &str = "ORDERINGS.toml";
+
+/// Identity of one audited ordering group.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SiteKey {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Enclosing function (or `(top-level)`).
+    pub symbol: String,
+    /// `Relaxed` | `Acquire` | `Release` | `AcqRel` | `SeqCst`.
+    pub ordering: String,
+}
+
+/// One manifest entry.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Site identity.
+    pub key: SiteKey,
+    /// Expected number of occurrences.
+    pub count: u64,
+    /// One-line justification.
+    pub why: String,
+    /// Line of the entry header in `ORDERINGS.toml`.
+    pub line: u32,
+}
+
+/// Collect all `Ordering::X` sites in `crates/` sources, grouped by key,
+/// with the 1-based lines of each occurrence.
+pub fn collect_sites(files: &[SourceFile]) -> BTreeMap<SiteKey, Vec<u32>> {
+    let mut map: BTreeMap<SiteKey, Vec<u32>> = BTreeMap::new();
+    for f in files {
+        if !f.rel.starts_with("crates/") {
+            continue;
+        }
+        for (i, t) in f.toks.iter().enumerate() {
+            for ord in ORDERINGS {
+                if path_at(&f.toks, i, &["Ordering", ord]) {
+                    let key = SiteKey {
+                        file: f.rel.clone(),
+                        symbol: f.spans.symbol_at(t.line),
+                        ordering: (*ord).to_string(),
+                    };
+                    map.entry(key).or_default().push(t.line);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Parse `ORDERINGS.toml`. Structural problems become findings.
+pub fn parse_manifest(text: &str, findings: &mut Vec<Finding>) -> Vec<ManifestEntry> {
+    let tables = match toml::parse(text) {
+        Ok(t) => t,
+        Err(e) => {
+            findings.push(Finding {
+                file: ORDERINGS_FILE.to_string(),
+                line: e.line,
+                rule: Rule::Manifest,
+                msg: format!("parse error: {}", e.msg),
+            });
+            return Vec::new();
+        }
+    };
+    let mut entries = Vec::new();
+    for t in tables {
+        if t.name != "site" {
+            findings.push(Finding {
+                file: ORDERINGS_FILE.to_string(),
+                line: t.line,
+                rule: Rule::Manifest,
+                msg: format!("unknown table `[[{}]]` (expected `[[site]]`)", t.name),
+            });
+            continue;
+        }
+        let file = t.get_str("file").unwrap_or_default().to_string();
+        let symbol = t.get_str("symbol").unwrap_or_default().to_string();
+        let ordering = t.get_str("ordering").unwrap_or_default().to_string();
+        if file.is_empty() || symbol.is_empty() || ordering.is_empty() {
+            findings.push(Finding {
+                file: ORDERINGS_FILE.to_string(),
+                line: t.line,
+                rule: Rule::Manifest,
+                msg: "entry must set `file`, `symbol` and `ordering`".to_string(),
+            });
+            continue;
+        }
+        if !ORDERINGS.contains(&ordering.as_str()) {
+            findings.push(Finding {
+                file: ORDERINGS_FILE.to_string(),
+                line: t.line,
+                rule: Rule::Manifest,
+                msg: format!("unknown ordering `{ordering}`"),
+            });
+            continue;
+        }
+        entries.push(ManifestEntry {
+            key: SiteKey {
+                file,
+                symbol,
+                ordering,
+            },
+            count: t.get_int("count").unwrap_or(1),
+            why: t.get_str("why").unwrap_or_default().to_string(),
+            line: t.line,
+        });
+    }
+    entries
+}
+
+/// Diff the code sites against the manifest.
+pub fn check(
+    sites: &BTreeMap<SiteKey, Vec<u32>>,
+    entries: &[ManifestEntry],
+    findings: &mut Vec<Finding>,
+) {
+    let mut by_key: BTreeMap<&SiteKey, &ManifestEntry> = BTreeMap::new();
+    for e in entries {
+        if by_key.insert(&e.key, e).is_some() {
+            findings.push(Finding {
+                file: ORDERINGS_FILE.to_string(),
+                line: e.line,
+                rule: Rule::Manifest,
+                msg: format!(
+                    "duplicate entry for {}::{} Ordering::{}",
+                    e.key.file, e.key.symbol, e.key.ordering
+                ),
+            });
+        }
+    }
+    for (key, lines) in sites {
+        match by_key.get(key) {
+            None => findings.push(Finding {
+                file: key.file.clone(),
+                line: lines[0],
+                rule: Rule::Ordering,
+                msg: format!(
+                    "Ordering::{} in `{}` has no ORDERINGS.toml entry (run `cargo run -p adaptivetc-lint -- --bless` and justify it)",
+                    key.ordering, key.symbol
+                ),
+            }),
+            Some(e) => {
+                if e.count != lines.len() as u64 {
+                    findings.push(Finding {
+                        file: key.file.clone(),
+                        line: lines[0],
+                        rule: Rule::Ordering,
+                        msg: format!(
+                            "Ordering::{} in `{}`: manifest expects {} site(s), found {} — re-bless and re-justify",
+                            key.ordering,
+                            key.symbol,
+                            e.count,
+                            lines.len()
+                        ),
+                    });
+                }
+                if e.why.trim().is_empty() || e.why.trim_start().starts_with("TODO") {
+                    findings.push(Finding {
+                        file: ORDERINGS_FILE.to_string(),
+                        line: e.line,
+                        rule: Rule::Manifest,
+                        msg: format!(
+                            "entry for {} `{}` Ordering::{} has no justification (`why`)",
+                            key.file, key.symbol, key.ordering
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for e in entries {
+        if !sites.contains_key(&e.key) {
+            findings.push(Finding {
+                file: ORDERINGS_FILE.to_string(),
+                line: e.line,
+                rule: Rule::Manifest,
+                msg: format!(
+                    "stale entry: {} `{}` Ordering::{} no longer exists in the tree",
+                    e.key.file, e.key.symbol, e.key.ordering
+                ),
+            });
+        }
+    }
+}
+
+/// Render a fresh manifest from the observed sites, preserving existing
+/// justifications by key and leaving `why = ""` skeletons for new sites.
+pub fn render(sites: &BTreeMap<SiteKey, Vec<u32>>, old: &[ManifestEntry]) -> String {
+    let old_why: BTreeMap<&SiteKey, &str> = old
+        .iter()
+        .filter(|e| !e.why.trim().is_empty())
+        .map(|e| (&e.key, e.why.as_str()))
+        .collect();
+    let mut out = String::new();
+    out.push_str(
+        "# ORDERINGS.toml — memory-ordering audit manifest.\n\
+         #\n\
+         # Every `Ordering::` site under crates/ must appear here, keyed by\n\
+         # (file, enclosing symbol, ordering) with an occurrence count and a\n\
+         # one-line justification. `cargo run -p adaptivetc-lint` fails on\n\
+         # unmanifested, stale, mismatched or unjustified entries;\n\
+         # `cargo run -p adaptivetc-lint -- --bless` regenerates the skeleton\n\
+         # (preserving justifications) after an intentional change.\n\
+         # DESIGN.md §12 renders this file; --bless keeps the two in sync.\n",
+    );
+    let mut last_file = String::new();
+    for (key, lines) in sites {
+        if key.file != last_file {
+            out.push_str(&format!("\n# ---- {} ----\n", key.file));
+            last_file = key.file.clone();
+        }
+        out.push('\n');
+        out.push_str("[[site]]\n");
+        out.push_str(&format!("file = {}\n", quote(&key.file)));
+        out.push_str(&format!("symbol = {}\n", quote(&key.symbol)));
+        out.push_str(&format!("ordering = {}\n", quote(&key.ordering)));
+        out.push_str(&format!("count = {}\n", lines.len()));
+        let why = old_why.get(key).copied().unwrap_or("");
+        out.push_str(&format!("why = {}\n", quote(why)));
+    }
+    out
+}

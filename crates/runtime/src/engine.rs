@@ -81,6 +81,7 @@
 use crate::frame::{deliver, Frame, OutCell, Parent};
 use crate::fsm;
 use crate::pool::Pool;
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 use crate::trace::{tev, worker_tracer, TracerRef, WorkerTracer};
 use adaptivetc_core::{
     Config, DequeBackend, Expansion, Problem, Reduce, RunReport, RunStats, VictimPolicy,
@@ -92,7 +93,6 @@ use adaptivetc_deque::{
 #[cfg(feature = "trace")]
 use adaptivetc_trace::{EventKind as Ev, FsmState as Fs};
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -160,9 +160,19 @@ struct Shared<'p, P: Problem, D> {
     timing: bool,
 }
 
+/// Per-op timing probe. Compiled down to a constant `None` without the
+/// `trace` feature so untraced builds carry zero clock reads on the hot
+/// path even when `Config::timing` is (uselessly) set.
+#[cfg(feature = "trace")]
 #[inline]
 fn now_if(enabled: bool) -> Option<Instant> {
     enabled.then(Instant::now)
+}
+
+#[cfg(not(feature = "trace"))]
+#[inline]
+fn now_if(_enabled: bool) -> Option<Instant> {
+    None
 }
 
 #[inline]

@@ -15,9 +15,9 @@
 //! away, and the last delivering child performs the completion (the paper's
 //! Terminate rule (3)).
 
+use crate::sync::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 use adaptivetc_core::{Problem, Reduce};
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -49,6 +49,7 @@ mod frame;
 pub mod fsm;
 pub mod par;
 pub mod pool;
+pub(crate) mod sync;
 pub mod tascell;
 mod trace;
 

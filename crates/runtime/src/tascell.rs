@@ -16,9 +16,9 @@
 //! Figures 6 and 7.
 
 use crate::frame::OutCell;
+use crate::sync::Mutex;
+use crate::sync::{AtomicBool, Ordering};
 use adaptivetc_core::{Config, Expansion, Problem, Reduce, RunReport, RunStats, XorShift64};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,9 +83,19 @@ struct Worker<'s, 'p, P: Problem> {
     task_children: Option<TaskChildren<P::Out>>,
 }
 
+/// Per-op timing probe. Compiled down to a constant `None` without the
+/// `trace` feature so untraced builds carry zero clock reads on the hot
+/// path even when `Config::timing` is (uselessly) set.
+#[cfg(feature = "trace")]
 #[inline]
 fn now_if(enabled: bool) -> Option<Instant> {
     enabled.then(Instant::now)
+}
+
+#[cfg(not(feature = "trace"))]
+#[inline]
+fn now_if(_enabled: bool) -> Option<Instant> {
+    None
 }
 
 #[inline]

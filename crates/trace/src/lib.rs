@@ -36,6 +36,7 @@ pub mod collector;
 pub mod diff;
 pub mod event;
 pub mod ring;
+pub(crate) mod sync;
 pub mod validate;
 
 pub use analysis::{

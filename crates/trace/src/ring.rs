@@ -19,9 +19,9 @@
 //! their control words.
 
 use crate::event::{Event, RawEvent};
+use crate::sync::{AtomicU64, Ordering};
 use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Minimum ring capacity; smaller requests are rounded up.
 pub const MIN_CAPACITY: usize = 16;

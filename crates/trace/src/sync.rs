@@ -1,0 +1,9 @@
+//! Synchronization facade for the trace crate.
+//!
+//! The lock-free ring buffer is the only concurrent structure in this
+//! crate; it pulls its atomics from here (mirroring the facades in
+//! `adaptivetc-deque` and `adaptivetc-runtime`) so the lint's
+//! facade-integrity rule covers trace code too, and so the ring could be
+//! compiled against a model-checking shim by editing this one module.
+
+pub use std::sync::atomic::{AtomicU64, Ordering};
