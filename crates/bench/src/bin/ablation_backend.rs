@@ -1,97 +1,355 @@
-//! Deque-backend ablation: Table-2-style one-thread overhead plus task and
-//! steal counters for the THE protocol vs the Chase-Lev lock-free deque,
-//! under both the work-first Cilk policy and AdaptiveTC, across all eight
-//! paper workloads.
+//! Deque-backend ablation: Table-2-style one-thread overhead plus task,
+//! steal and duplicate-extraction counters for all four substrates — the
+//! THE protocol, the Chase-Lev lock-free deque, the locked pool and the
+//! fence-free multiplicity deque — under both the work-first Cilk policy
+//! and AdaptiveTC, across all eight paper workloads.
 //!
 //! The paper runs everything on the THE deque; this harness isolates what
-//! the substrate itself costs. Expected shape: on one thread the two
-//! backends are close (both owner fast paths are a handful of atomics), and
-//! AdaptiveTC's overhead stays near serial on either backend because it
-//! barely touches the deque at all — the scheduling policy, not the deque,
-//! dominates Table 2.
+//! the substrate itself costs. Expected shape: on one thread the exact
+//! backends are close (their owner fast paths are a handful of atomics
+//! plus one Dekker fence per pop), AdaptiveTC's overhead stays near serial
+//! on any backend because it barely touches the deque at all, and the
+//! fence-free backend is the only one whose owner path carries *no* fence
+//! and no SeqCst access — the cost it re-pays as benign duplicate offers
+//! (`dup_extractions`) that the runtime's claim layer rejects.
+//!
+//! Built with `--features count-sync`, the deque crate's sync facade is
+//! swapped for counting shims and a third section reports measured
+//! per-push/per-pop fence, SeqCst, RMW and SeqCst-RMW counts for every
+//! backend (single-threaded owner loop, so the numbers are exact protocol
+//! costs, not contention artifacts). Counting perturbs timing, so that
+//! build skips the wall-clock section. The measured profile is asserted:
+//! the fence-free owner path must perform zero fences and strictly fewer
+//! SeqCst operations than THE or Chase-Lev. (At one thread THE's owner
+//! path has no RMW at all — its SeqCst cost is the Dekker *fence* — so
+//! "fewer SeqCst RMWs" is enforced as ≤ on the RMW column and < on the
+//! total-SeqCst column; see DESIGN.md §12.)
+//!
+//! Every run writes `BENCH_pr6.json` (runtime counters always; per-op
+//! sync counts when built with `count-sync`) for CI trending.
 //!
 //! ```text
 //! cargo run --release -p adaptivetc-bench --bin ablation_backend
+//! cargo run --release -p adaptivetc-bench --bin ablation_backend --features count-sync
 //! ```
 
 use adaptivetc_bench::PaperBench;
-use adaptivetc_core::{Config, DequeBackend};
+use adaptivetc_core::{Config, DequeBackend, RunReport};
 use adaptivetc_runtime::Scheduler;
 
+#[cfg(not(feature = "count-sync"))]
 fn median_of_3<F: FnMut() -> u64>(mut run: F) -> u64 {
     let mut xs = [run(), run(), run()];
     xs.sort_unstable();
     xs[1]
 }
 
-const BACKENDS: [DequeBackend; 2] = [DequeBackend::The, DequeBackend::ChaseLev];
 const SCHEDULERS: [Scheduler; 2] = [Scheduler::Cilk, Scheduler::AdaptiveTc];
 
-fn main() {
-    println!("Backend ablation: ONE-thread execution time relative to the serial baseline");
-    println!("(median of 3 runs; real threaded runtime, release build)\n");
+/// One 4-thread runtime cell, flattened for the table and the JSON dump.
+struct Row {
+    bench: &'static str,
+    scheduler: &'static str,
+    backend: &'static str,
+    threads: usize,
+    tasks: u64,
+    steals: u64,
+    dups: u64,
+    frame_reuse: u64,
+    state_reuse: u64,
+    wall_ns: u64,
+}
 
-    let mut header = format!("{:<22} {:>9}", "benchmark", "serial ms");
-    for s in SCHEDULERS {
-        for b in BACKENDS {
-            header.push_str(&format!(" {:>16}", format!("{}/{}", s.name(), b.name())));
+impl Row {
+    fn from_report(
+        bench: &'static str,
+        scheduler: Scheduler,
+        backend: DequeBackend,
+        threads: usize,
+        report: &RunReport,
+    ) -> Self {
+        let s = &report.stats;
+        Row {
+            bench,
+            scheduler: scheduler.name(),
+            backend: backend.name(),
+            threads,
+            tasks: s.tasks_created,
+            steals: s.steals_ok,
+            dups: s.dup_extractions,
+            frame_reuse: s.frame_reuse,
+            state_reuse: s.state_reuse,
+            wall_ns: report.wall_ns,
         }
     }
-    println!("{header}");
 
-    let cfg1 = Config::new(1);
-    for bench in PaperBench::all() {
-        let _warmup = bench.run_serial(); // fault in code and data pages
-        let serial_ns = median_of_3(|| bench.run_serial().1.wall_ns).max(1);
-        let mut row = format!("{:<22} {:>9.1}", bench.name(), serial_ns as f64 / 1e6);
-        for scheduler in SCHEDULERS {
-            for backend in BACKENDS {
-                let cfg = cfg1.clone().backend(backend);
-                let ns = median_of_3(|| {
-                    bench
-                        .run_real(scheduler, &cfg)
-                        .expect("single-thread run succeeds")
-                        .1
-                        .wall_ns
-                });
-                row.push_str(&format!(
-                    " {:>8.1} ({:>4.2})",
-                    ns as f64 / 1e6,
-                    ns as f64 / serial_ns as f64
-                ));
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"scheduler\":\"{}\",\"backend\":\"{}\",\
+             \"threads\":{},\"tasks\":{},\"steals\":{},\"dup_extractions\":{},\
+             \"frame_reuse\":{},\"state_reuse\":{},\"wall_ns\":{}}}",
+            self.bench,
+            self.scheduler,
+            self.backend,
+            self.threads,
+            self.tasks,
+            self.steals,
+            self.dups,
+            self.frame_reuse,
+            self.state_reuse,
+            self.wall_ns
+        )
+    }
+}
+
+/// Per-operation synchronization costs, measured on the real deques.
+#[cfg(feature = "count-sync")]
+mod sync_cost {
+    use adaptivetc_deque::sync_counts::{self, Counts};
+    use adaptivetc_deque::{ChaseLevDeque, FenceFreeDeque, PoolDeque, TheDeque, WsDeque};
+
+    /// Ops per phase. Pushes stay well under the pre-sized capacity so no
+    /// growth or overflow path pollutes the per-op numbers.
+    pub const N: u64 = 1024;
+
+    pub struct OpCosts {
+        pub backend: &'static str,
+        pub push: Counts,
+        pub pop: Counts,
+    }
+
+    impl OpCosts {
+        pub fn per_op(c: &Counts) -> [f64; 4] {
+            let n = N as f64;
+            [
+                c.fences as f64 / n,
+                c.seqcst_ops as f64 / n,
+                c.rmw_ops as f64 / n,
+                c.seqcst_rmw_ops as f64 / n,
+            ]
+        }
+
+        pub fn json(&self) -> String {
+            let [pf, ps, pr, psr] = Self::per_op(&self.push);
+            let [of, os, or, osr] = Self::per_op(&self.pop);
+            format!(
+                "{{\"backend\":\"{}\",\"push\":{{\"fences\":{pf},\"seqcst_ops\":{ps},\
+                 \"rmw_ops\":{pr},\"seqcst_rmw_ops\":{psr}}},\
+                 \"pop\":{{\"fences\":{of},\"seqcst_ops\":{os},\
+                 \"rmw_ops\":{or},\"seqcst_rmw_ops\":{osr}}}}}",
+                self.backend
+            )
+        }
+    }
+
+    /// Owner-only push/pop loop: the single-thread fast path whose cost
+    /// Table 2 measures. The counters are process-global, so this must
+    /// run with no concurrent deque traffic.
+    fn measure<D: WsDeque<u64>>() -> OpCosts {
+        let d = D::with_capacity(2 * N as usize);
+        let before = sync_counts::snapshot();
+        for i in 0..N {
+            d.push(i).expect("capacity pre-sized");
+        }
+        let after_push = sync_counts::snapshot();
+        for _ in 0..N {
+            d.pop();
+        }
+        let after_pop = sync_counts::snapshot();
+        OpCosts {
+            backend: D::NAME,
+            push: after_push.since(before),
+            pop: after_pop.since(after_push),
+        }
+    }
+
+    pub fn measure_all() -> Vec<OpCosts> {
+        vec![
+            measure::<TheDeque<u64>>(),
+            measure::<ChaseLevDeque<u64>>(),
+            measure::<PoolDeque<u64>>(),
+            measure::<FenceFreeDeque<u64>>(),
+        ]
+    }
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Wall-clock section (uncounted builds only: the counting shims are a
+    // measurable perturbation, so a count-sync build skips timing).
+    // ------------------------------------------------------------------
+    #[cfg(not(feature = "count-sync"))]
+    {
+        println!("Backend ablation: ONE-thread execution time relative to the serial baseline");
+        println!("(median of 3 runs; real threaded runtime, release build)\n");
+
+        let mut header = format!("{:<22} {:>9}", "benchmark", "serial ms");
+        for s in SCHEDULERS {
+            for b in DequeBackend::ALL {
+                header.push_str(&format!(" {:>16}", format!("{}/{}", s.name(), b.name())));
             }
         }
-        println!("{row}");
-    }
+        println!("{header}");
 
-    println!("\nCounters at 4 threads (single run per cell; tasks / steals / reuse):\n");
+        let cfg1 = Config::new(1);
+        for bench in PaperBench::all() {
+            let _warmup = bench.run_serial(); // fault in code and data pages
+            let serial_ns = median_of_3(|| bench.run_serial().1.wall_ns).max(1);
+            let mut row = format!("{:<22} {:>9.1}", bench.name(), serial_ns as f64 / 1e6);
+            for scheduler in SCHEDULERS {
+                for backend in DequeBackend::ALL {
+                    let cfg = cfg1.clone().backend(backend);
+                    let ns = median_of_3(|| {
+                        bench
+                            .run_real(scheduler, &cfg)
+                            .expect("single-thread run succeeds")
+                            .1
+                            .wall_ns
+                    });
+                    row.push_str(&format!(
+                        " {:>8.1} ({:>4.2})",
+                        ns as f64 / 1e6,
+                        ns as f64 / serial_ns as f64
+                    ));
+                }
+            }
+            println!("{row}");
+        }
+    }
+    #[cfg(feature = "count-sync")]
+    println!("count-sync build: wall-clock section skipped (counting perturbs timing)\n");
+
+    // ------------------------------------------------------------------
+    // Runtime counters at 4 threads. `dup_extractions` is structurally
+    // zero on the exact backends and the fence-free backend's whole
+    // multiplicity cost: offers the claim layer rejected.
+    // ------------------------------------------------------------------
+    println!("\nCounters at 4 threads (single run per cell):\n");
     println!(
-        "{:<22} {:<22} {:>12} {:>10} {:>12} {:>12}",
-        "benchmark", "scheduler/backend", "tasks", "steals", "frame_reuse", "state_reuse"
+        "{:<22} {:<22} {:>12} {:>8} {:>6} {:>12} {:>12}",
+        "benchmark", "scheduler/backend", "tasks", "steals", "dups", "frame_reuse", "state_reuse"
     );
+    let mut rows: Vec<Row> = Vec::new();
     let cfg4 = Config::new(4);
     for bench in PaperBench::all() {
         for scheduler in SCHEDULERS {
-            for backend in BACKENDS {
+            for backend in DequeBackend::ALL {
                 let cfg = cfg4.clone().backend(backend);
                 let (_, report) = bench
                     .run_real(scheduler, &cfg)
                     .expect("4-thread run succeeds");
-                let s = report.stats;
+                let row = Row::from_report(bench.name(), scheduler, backend, 4, &report);
+                if backend != DequeBackend::FenceFree {
+                    assert_eq!(
+                        row.dups,
+                        0,
+                        "exact backend {} reported duplicate extractions",
+                        backend.name()
+                    );
+                }
                 println!(
-                    "{:<22} {:<22} {:>12} {:>10} {:>12} {:>12}",
-                    bench.name(),
-                    format!("{}/{}", scheduler.name(), backend.name()),
-                    s.tasks_created,
-                    s.steals_ok,
-                    s.frame_reuse,
-                    s.state_reuse
+                    "{:<22} {:<22} {:>12} {:>8} {:>6} {:>12} {:>12}",
+                    row.bench,
+                    format!("{}/{}", row.scheduler, row.backend),
+                    row.tasks,
+                    row.steals,
+                    row.dups,
+                    row.frame_reuse,
+                    row.state_reuse
                 );
+                rows.push(row);
             }
         }
     }
     println!(
         "\npaper's shape: AdaptiveTC creates orders of magnitude fewer tasks than Cilk\n\
-         on either backend; backend choice moves steal costs, not task counts"
+         on any backend; backend choice moves steal costs, not task counts"
+    );
+
+    // ------------------------------------------------------------------
+    // Per-op synchronization costs (count-sync builds).
+    // ------------------------------------------------------------------
+    #[cfg(feature = "count-sync")]
+    let op_costs = {
+        use sync_cost::OpCosts;
+        println!(
+            "\nPer-operation synchronization costs (owner path, single thread, {} ops):\n",
+            sync_cost::N
+        );
+        println!(
+            "{:<12} {:<5} {:>8} {:>11} {:>9} {:>13}",
+            "backend", "op", "fences", "seqcst_ops", "rmw_ops", "seqcst_rmws"
+        );
+        let costs = sync_cost::measure_all();
+        for c in &costs {
+            for (op, counts) in [("push", &c.push), ("pop", &c.pop)] {
+                let [f, s, r, sr] = OpCosts::per_op(counts);
+                println!(
+                    "{:<12} {:<5} {:>8.3} {:>11.3} {:>9.3} {:>13.3}",
+                    c.backend, op, f, s, r, sr
+                );
+            }
+        }
+
+        // The PR's acceptance shape. THE's owner pop carries the Dekker
+        // fence (1 fence, 1 SeqCst op); Chase-Lev's carries the same
+        // fence plus a SeqCst CAS on the last element. The fence-free
+        // owner path must carry nothing: zero fences, zero SeqCst.
+        let by_name = |n: &str| costs.iter().find(|c| c.backend == n).expect("measured");
+        let (ff, the, cl) = (by_name("fence-free"), by_name("the"), by_name("chase-lev"));
+        let total = |c: &sync_cost::OpCosts| {
+            (
+                c.push.fences + c.pop.fences,
+                c.push.seqcst_ops + c.pop.seqcst_ops,
+                c.push.seqcst_rmw_ops + c.pop.seqcst_rmw_ops,
+            )
+        };
+        let (ff_f, ff_s, ff_sr) = total(ff);
+        let (the_f, the_s, the_sr) = total(the);
+        let (cl_f, cl_s, cl_sr) = total(cl);
+        assert_eq!(ff_f, 0, "fence-free owner path must perform zero fences");
+        assert_eq!(
+            ff_s, 0,
+            "fence-free owner path must perform zero SeqCst ops"
+        );
+        assert!(
+            ff_s < the_s && ff_s < cl_s,
+            "fence-free must beat THE ({the_s}) and Chase-Lev ({cl_s}) on SeqCst ops, got {ff_s}"
+        );
+        assert!(
+            ff_sr <= the_sr && ff_sr <= cl_sr,
+            "fence-free SeqCst RMWs ({ff_sr}) exceed THE ({the_sr}) or Chase-Lev ({cl_sr})"
+        );
+        assert!(
+            the_f > 0 && cl_f > 0,
+            "exact backends lost their Dekker fence — the ablation is measuring nothing"
+        );
+        println!(
+            "\nfence-free acceptance (0 fences, 0 SeqCst on owner push+pop; \
+             THE {the_f} fences, Chase-Lev {cl_f}): PASS"
+        );
+        costs
+    };
+
+    // ------------------------------------------------------------------
+    // JSON dump for CI trending. `sync_ops` is populated only by the
+    // count-sync build; the smoke job runs that build and gates on the
+    // artifact existing.
+    // ------------------------------------------------------------------
+    #[cfg(feature = "count-sync")]
+    let sync_json: Vec<String> = op_costs.iter().map(sync_cost::OpCosts::json).collect();
+    #[cfg(not(feature = "count-sync"))]
+    let sync_json: Vec<String> = Vec::new();
+
+    let json = format!(
+        "{{\n\"runtime\": [\n  {}\n],\n\"sync_ops\": [\n  {}\n]\n}}\n",
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n  "),
+        sync_json.join(",\n  ")
+    );
+    std::fs::write("BENCH_pr6.json", json).expect("write BENCH_pr6.json");
+    println!(
+        "\nwrote {} runtime rows and {} sync-op rows to BENCH_pr6.json",
+        rows.len(),
+        sync_json.len()
     );
 }

@@ -53,10 +53,13 @@ pub mod the;
 #[path = "../../deque/src/chase_lev.rs"]
 pub mod chase_lev;
 
+#[path = "../../deque/src/fence_free.rs"]
+pub mod fence_free;
+
 #[path = "../../deque/src/signal.rs"]
 pub mod signal;
 
-pub use shim_sync::{current_trail, explore, replay, Config, Report};
+pub use shim_sync::{current_trail, explore, replay, replay_with, Config, Report};
 
 /// A single-owner deque operation as observed in one execution, for the
 /// linearizability oracle.

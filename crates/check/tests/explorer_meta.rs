@@ -71,6 +71,75 @@ fn seeded_race_is_caught_with_replayable_trace() {
     );
 }
 
+/// One round of the store-buffering litmus (SB): each thread stores its
+/// flag, then reads the other's. Returns the pair of reads.
+fn sb_round(fenced: bool) -> (u64, u64) {
+    use adaptivetc_check::sync::fence;
+    let x = Arc::new(AtomicU64::new(0));
+    let y = Arc::new(AtomicU64::new(0));
+    let t = {
+        let x = Arc::clone(&x);
+        let y = Arc::clone(&y);
+        shim_sync::thread::spawn(move || {
+            x.store(1, Ordering::Relaxed);
+            if fenced {
+                fence(Ordering::SeqCst);
+            }
+            y.load(Ordering::Relaxed)
+        })
+    };
+    y.store(1, Ordering::Relaxed);
+    if fenced {
+        fence(Ordering::SeqCst);
+    }
+    let rx = x.load(Ordering::Relaxed);
+    let ry = t.join().unwrap();
+    (rx, ry)
+}
+
+/// The TSO mode must be *stronger than SC exploration* exactly where it
+/// matters: the both-read-zero outcome of the SB litmus — the one a
+/// removed Dekker fence admits on x86 — is unreachable under SC
+/// exploration, reachable under `tso: true`, and sealed again by SeqCst
+/// fences. The ordering-campaign suite's refutations rest on this.
+#[test]
+fn store_buffering_reachable_only_under_tso() {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    let run = |tso: bool, fenced: bool| {
+        let seen: Arc<Mutex<BTreeSet<(u64, u64)>>> = Arc::new(Mutex::new(BTreeSet::new()));
+        let sink = Arc::clone(&seen);
+        let report = explore(
+            Config {
+                tso,
+                ..Config::with_preemption_bound(2)
+            },
+            move || {
+                let out = sb_round(fenced);
+                sink.lock().unwrap().insert(out);
+            },
+        );
+        assert!(report.complete, "SB space not exhausted: {report:?}");
+        let outcomes = seen.lock().unwrap().clone();
+        outcomes
+    };
+    let sc = run(false, false);
+    assert!(
+        !sc.contains(&(0, 0)),
+        "SC exploration must not reach both-read-zero: {sc:?}"
+    );
+    let tso = run(true, false);
+    assert!(
+        tso.contains(&(0, 0)),
+        "TSO exploration failed to reach both-read-zero: {tso:?}"
+    );
+    let tso_fenced = run(true, true);
+    assert!(
+        !tso_fenced.contains(&(0, 0)),
+        "SeqCst fences must seal store buffering under TSO: {tso_fenced:?}"
+    );
+}
+
 /// The fixed version of the same program must explore clean and complete.
 #[test]
 fn atomic_increment_is_clean() {

@@ -58,6 +58,12 @@ pub enum DequeBackend {
     ChaseLev,
     /// The growable locked buffer-pool deque (overflow-free reference).
     Pool,
+    /// The fully read/write fence-free deque with multiplicity of
+    /// Castañeda & Piña: zero fences/RMWs on the owner path; a task may
+    /// be extracted more than once, and the runtime's per-frame epoch
+    /// claim layer restores exactly-once execution (duplicates are
+    /// counted in `RunStats::dup_extractions`).
+    FenceFree,
 }
 
 impl DequeBackend {
@@ -67,14 +73,16 @@ impl DequeBackend {
             DequeBackend::The => "the",
             DequeBackend::ChaseLev => "chase-lev",
             DequeBackend::Pool => "pool",
+            DequeBackend::FenceFree => "fence-free",
         }
     }
 
     /// All backends, for ablation sweeps.
-    pub const ALL: [DequeBackend; 3] = [
+    pub const ALL: [DequeBackend; 4] = [
         DequeBackend::The,
         DequeBackend::ChaseLev,
         DequeBackend::Pool,
+        DequeBackend::FenceFree,
     ];
 }
 

@@ -27,6 +27,15 @@
 //! by the owner first; the runtime treats `ChildStolen` as "do not reuse
 //! the handle", which is safe in both cases.
 //!
+//! Backends that set [`CAN_DUPLICATE`](WsDeque::CAN_DUPLICATE) weaken
+//! property (1) to **at least one** party: the owner's pop may *offer* an
+//! entry a thief already took (and `pop_special` may report `Reclaimed`
+//! while a thief still races for the child). Such backends are only sound
+//! under the engine's claim layer, which gates every execution behind a
+//! per-frame epoch CAS so exactly-once *execution* still holds; the
+//! copy-on-steal deposit handshake then keys off the claim winner instead
+//! of the pop/steal race. See [`FenceFreeDeque`] and DESIGN.md §6.
+//!
 //! Backends carry opaque entries and know nothing about taskprivate
 //! workspaces. Under the runtime's copy-on-steal policy a stolen entry
 //! may reference a workspace the owner is still mutating in place; the
@@ -37,7 +46,9 @@
 //! claims the entry, and the loser's side of the pop/steal race is the
 //! deposit trigger).
 
-use crate::{ChaseLevDeque, ClSteal, Overflow, PoolDeque, PopSpecial, StealOutcome, TheDeque};
+use crate::{
+    ChaseLevDeque, ClSteal, FenceFreeDeque, Overflow, PoolDeque, PopSpecial, StealOutcome, TheDeque,
+};
 
 /// A work-stealing deque usable as the engine's task substrate.
 ///
@@ -64,6 +75,13 @@ use crate::{ChaseLevDeque, ClSteal, Overflow, PoolDeque, PopSpecial, StealOutcom
 pub trait WsDeque<T: Send>: Send + Sync {
     /// Short name for reports and benchmark labels.
     const NAME: &'static str;
+
+    /// Whether an entry may be extracted more than once (multiplicity).
+    ///
+    /// `false` for exactly-once backends. When `true`, the engine must
+    /// run its claim layer (per-frame epoch CAS) over every extraction;
+    /// see the [module documentation](self).
+    const CAN_DUPLICATE: bool = false;
 
     /// Create a deque able to hold at least `capacity` entries before a
     /// push can fail (growable backends never fail and treat `capacity`
@@ -214,6 +232,41 @@ impl<T: Send> WsDeque<T> for PoolDeque<T> {
     }
 }
 
+impl<T: Send + Sync + Clone> WsDeque<T> for FenceFreeDeque<T> {
+    const NAME: &'static str = "fence-free";
+    const CAN_DUPLICATE: bool = true;
+
+    fn with_capacity(capacity: usize) -> Self {
+        FenceFreeDeque::with_capacity(capacity)
+    }
+
+    fn push(&self, value: T) -> Result<(), Overflow> {
+        FenceFreeDeque::push(self, value);
+        Ok(())
+    }
+
+    fn push_special(&self, value: T) -> Result<(), Overflow> {
+        FenceFreeDeque::push_special(self, value);
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<T> {
+        FenceFreeDeque::pop(self)
+    }
+
+    fn pop_special(&self) -> PopSpecial<T> {
+        FenceFreeDeque::pop_special(self)
+    }
+
+    fn steal(&self) -> StealOutcome<T> {
+        FenceFreeDeque::steal(self)
+    }
+
+    fn len(&self) -> usize {
+        FenceFreeDeque::len(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,13 +318,61 @@ mod tests {
         protocol_smoke::<PoolDeque<u32>>();
     }
 
+    /// The fence-free backend's multiplicity-adjusted smoke test: same
+    /// protocol shape as [`protocol_smoke`], but property (1) is
+    /// at-least-once — pops *offer* stolen entries (the claim layer's
+    /// job to reject) — and `len` is a racy over-estimate after steals.
+    #[test]
+    fn fence_free_satisfies_relaxed_protocol() {
+        type D = FenceFreeDeque<u32>;
+        const { assert!(<D as WsDeque<u32>>::CAN_DUPLICATE) };
+        let d = <D as WsDeque<u32>>::with_capacity(16);
+        WsDeque::push(&d, 1).unwrap();
+        WsDeque::push(&d, 2).unwrap();
+        WsDeque::push(&d, 3).unwrap();
+        assert_eq!(WsDeque::len(&d), 3);
+        assert_eq!(WsDeque::steal(&d), StealOutcome::Stolen(1));
+        assert_eq!(WsDeque::pop(&d), Some(3));
+        assert_eq!(WsDeque::steal(&d), StealOutcome::Stolen(2));
+        assert_eq!(WsDeque::pop(&d), Some(2), "duplicate offer of stolen 2");
+        assert_eq!(WsDeque::pop(&d), Some(1), "duplicate offer of stolen 1");
+        assert_eq!(WsDeque::pop(&d), None);
+        assert_eq!(
+            WsDeque::steal(&d),
+            StealOutcome::Stolen(3),
+            "cursor re-offers the owner-popped 3"
+        );
+        assert_eq!(WsDeque::steal(&d), StealOutcome::Empty);
+
+        // Special-task protocol: identical to the exact backends, except
+        // that the stolen child's dead offer is discarded internally when
+        // pop_special is called without popping the child first.
+        WsDeque::push_special(&d, 42).unwrap();
+        assert_eq!(WsDeque::steal(&d), StealOutcome::Empty);
+        assert_eq!(WsDeque::pop_special(&d), PopSpecial::Reclaimed(42));
+        WsDeque::push_special(&d, 43).unwrap();
+        WsDeque::push(&d, 7).unwrap();
+        assert_eq!(WsDeque::steal(&d), StealOutcome::Stolen(7));
+        assert_eq!(WsDeque::pop_special(&d), PopSpecial::ChildStolen);
+        WsDeque::push_special(&d, 44).unwrap();
+        WsDeque::push(&d, 8).unwrap();
+        assert_eq!(WsDeque::pop(&d), Some(8));
+        assert_eq!(WsDeque::pop_special(&d), PopSpecial::Reclaimed(44));
+    }
+
     #[test]
     fn backend_names_are_distinct() {
         let names = [
             <TheDeque<u32> as WsDeque<u32>>::NAME,
             <ChaseLevDeque<u32> as WsDeque<u32>>::NAME,
             <PoolDeque<u32> as WsDeque<u32>>::NAME,
+            <FenceFreeDeque<u32> as WsDeque<u32>>::NAME,
         ];
-        assert_eq!(names, ["the", "chase-lev", "pool"]);
+        assert_eq!(names, ["the", "chase-lev", "pool", "fence-free"]);
+        const {
+            assert!(!<TheDeque<u32> as WsDeque<u32>>::CAN_DUPLICATE);
+            assert!(!<ChaseLevDeque<u32> as WsDeque<u32>>::CAN_DUPLICATE);
+            assert!(!<PoolDeque<u32> as WsDeque<u32>>::CAN_DUPLICATE);
+        }
     }
 }

@@ -11,6 +11,10 @@
 //!   paper cites as the fix for overflow) with the same interface;
 //! * [`ChaseLevDeque`] — the lock-free dynamic circular deque of Chase &
 //!   Lev (SPAA 2005), the paper's reference \[6\];
+//! * [`FenceFreeDeque`] — the fully read/write fence-free deque with
+//!   multiplicity of Castañeda & Piña: zero fences/RMWs on the owner
+//!   path, at the price that an entry may be *extracted* more than once
+//!   (the runtime's claim layer restores exactly-once *execution*);
 //! * [`NeedTask`] — the `stolen_num` / `need_task` back-pressure signal a
 //!   thief raises on its victim after repeated failed steals.
 //!
@@ -40,6 +44,7 @@
 
 mod backend;
 mod chase_lev;
+mod fence_free;
 mod pool;
 mod signal;
 mod sync;
@@ -47,8 +52,11 @@ mod the;
 
 pub use backend::WsDeque;
 pub use chase_lev::{ChaseLevDeque, ClSteal};
+pub use fence_free::FenceFreeDeque;
 pub use pool::PoolDeque;
 pub use signal::NeedTask;
+#[cfg(feature = "count-sync")]
+pub use sync::sync_counts;
 pub use the::{PopSpecial, StealOutcome, TheDeque};
 
 use std::error::Error;

@@ -195,18 +195,26 @@ impl<T> TheDeque<T> {
     /// corrupt the next push).
     pub fn pop(&self) -> Option<T> {
         let t = self.tail.load(Ordering::Relaxed) - 1;
-        self.tail.store(t, Ordering::SeqCst);
+        // Relaxed: the SeqCst fence below globally orders this store
+        // against the subsequent `head` read — the Dekker arbitration
+        // needs the store→fence→load *shape*, not a SeqCst store.
+        self.tail.store(t, Ordering::Relaxed);
         fence(Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
+        // Relaxed: ordered by the fence above. A stale (lower) `head` only
+        // sends the owner into the locked slow path — conservative.
+        let h = self.head.load(Ordering::Relaxed);
         if h > t {
             // Possible conflict with a thief on the last entry (or pop of an
             // empty deque): arbitrate under the lock.
             let _guard = self.lock.lock();
-            let h = self.head.load(Ordering::SeqCst);
+            // Relaxed: `head` is only written under this lock, whose
+            // acquire synchronises with the writing thief's release.
+            let h = self.head.load(Ordering::Relaxed);
             if h > t {
                 // Lost: the entry was stolen. Restore the canonical empty
-                // shape.
-                self.tail.store(h, Ordering::SeqCst);
+                // shape. Relaxed: thieves read `tail` only after the lock
+                // hand-off or behind their own SeqCst fence.
+                self.tail.store(h, Ordering::Relaxed);
                 return None;
             }
             // Won the race while a thief backed off.
@@ -225,19 +233,23 @@ impl<T> TheDeque<T> {
     /// [`push_special`](TheDeque::push_special) (unmatched pops corrupt the
     /// protocol).
     pub fn pop_special(&self) -> PopSpecial<T> {
+        // The whole operation runs under the THE lock, so every access
+        // below is Relaxed: `head` is lock-protected, and `tail` is
+        // owner-written (this thread) and read by thieves only after the
+        // lock hand-off or behind their own SeqCst fence.
         let _guard = self.lock.lock();
         debug_assert!(
-            self.tail.load(Ordering::SeqCst) > INDEX_BASE,
+            self.tail.load(Ordering::Relaxed) > INDEX_BASE,
             "pop_special without a matching push_special"
         );
-        let t = self.tail.load(Ordering::SeqCst) - 1;
-        self.tail.store(t, Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(Ordering::Relaxed) - 1;
+        self.tail.store(t, Ordering::Relaxed);
+        let h = self.head.load(Ordering::Relaxed);
         if h > t {
             // The thief consumed the special entry's slot together with the
             // child it stole. Reset H = T so the (re-pushed) special task
             // stays at the head.
-            self.head.store(t, Ordering::SeqCst);
+            self.head.store(t, Ordering::Relaxed);
             return PopSpecial::ChildStolen;
         }
         let slot = self.slot(t);
@@ -254,7 +266,13 @@ impl<T> TheDeque<T> {
     /// dropped by the thief in that case.
     pub fn steal(&self) -> StealOutcome<T> {
         let _guard = self.lock.lock();
-        let h = self.head.load(Ordering::SeqCst);
+        // Relaxed: `head` is only written under this lock (mutual
+        // exclusion gives the thief the latest value).
+        let h = self.head.load(Ordering::Relaxed);
+        // SeqCst (KEPT): pairs with the owner's unlocked pop — a weaker
+        // load here could miss the owner's tail decrement and let the
+        // thief claim an entry the owner already took. The Dekker
+        // re-validation below depends on this anchor.
         let t = self.tail.load(Ordering::SeqCst);
         if h >= t {
             return StealOutcome::Empty;
@@ -262,19 +280,25 @@ impl<T> TheDeque<T> {
         let head_kind = self.slot(h).kind.load(Ordering::Relaxed);
         if head_kind == KIND_SPECIAL {
             // steal_specialtask: claim the special entry and its child.
-            self.head.store(h + 2, Ordering::SeqCst);
+            // Relaxed: the SeqCst fence below orders this store before
+            // the tail re-read; the owner's pop fence does the dual.
+            self.head.store(h + 2, Ordering::Relaxed);
             fence(Ordering::SeqCst);
+            // SeqCst (KEPT): the Dekker re-validation against the owner's
+            // unlocked tail decrement.
             let t = self.tail.load(Ordering::SeqCst);
             if h + 2 > t {
-                // No child present (yet): back off entirely.
-                self.head.store(h, Ordering::SeqCst);
+                // No child present (yet): back off entirely. Relaxed: the
+                // restore only lowers `head` back — the owner reading the
+                // transient raised value merely takes its lock slow path.
+                self.head.store(h, Ordering::Relaxed);
                 return StealOutcome::Empty;
             }
             let child = self.slot(h + 1);
             if child.kind.load(Ordering::Relaxed) == KIND_SPECIAL {
                 // Two adjacent specials cannot arise from the five-version
                 // FSM; refuse defensively rather than steal a special.
-                self.head.store(h, Ordering::SeqCst);
+                self.head.store(h, Ordering::Relaxed);
                 return StealOutcome::Empty;
             }
             // SAFETY: indices h and h+1 are exclusively claimed by this
@@ -285,12 +309,16 @@ impl<T> TheDeque<T> {
                 StealOutcome::Stolen((*child.value.get()).assume_init_read())
             }
         } else {
-            self.head.store(h + 1, Ordering::SeqCst);
+            // Relaxed: ordered by the SeqCst fence below (see the
+            // special-path store above for the argument).
+            self.head.store(h + 1, Ordering::Relaxed);
             fence(Ordering::SeqCst);
+            // SeqCst (KEPT): Dekker re-validation anchor.
             let t = self.tail.load(Ordering::SeqCst);
             if h + 1 > t {
                 // Lost the race against the owner's pop of the last entry.
-                self.head.store(h, Ordering::SeqCst);
+                // Relaxed: restore only lowers `head` back (conservative).
+                self.head.store(h, Ordering::Relaxed);
                 return StealOutcome::Empty;
             }
             // SAFETY: index h is exclusively claimed by this thief.

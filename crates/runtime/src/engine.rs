@@ -88,12 +88,13 @@ use adaptivetc_core::{
     WorkspacePolicy, XorShift64,
 };
 use adaptivetc_deque::{
-    ChaseLevDeque, NeedTask, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque,
+    ChaseLevDeque, FenceFreeDeque, NeedTask, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque,
 };
 #[cfg(feature = "trace")]
 use adaptivetc_trace::{EventKind as Ev, FsmState as Fs};
 use crossbeam_utils::CachePadded;
-use std::sync::Arc;
+use std::marker::PhantomData;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Objects each worker's pools retain at most (dead workspace buffers and
@@ -124,6 +125,95 @@ pub enum Mode {
     CutoffCopy,
     /// The AdaptiveTC five-version state machine.
     Adaptive,
+}
+
+/// How a frame travels through a deque backend.
+///
+/// Exactly-once backends carry strong [`Arc<Frame>`] handles and a claim
+/// is infallible — the pop/steal race itself decides who runs the frame,
+/// and a strong handle is required so an entry that loses the race on an
+/// unwinding owner cannot drop the last reference to a continuation a
+/// thief is about to resume. Multiplicity backends
+/// ([`WsDeque::CAN_DUPLICATE`]) may hand the *same* logical entry to both
+/// the owner's pop and a thief's steal, so their entries carry a weak
+/// handle stamped with the frame's claim epoch, and [`claim`] performs
+/// the dedup-at-extraction CAS: exactly one extraction of an entry wins
+/// the right to run the frame, every duplicate gets `None` (counted in
+/// `RunStats::dup_extractions`).
+///
+/// [`claim`]: DequeEntry::claim
+pub(crate) trait DequeEntry<P: Problem>: Send + Sync + Sized {
+    /// Build the entry pushed for `frame`.
+    fn make(frame: &Arc<Frame<P>>) -> Self;
+
+    /// Claim the right to run the referenced frame; `None` means another
+    /// extraction already claimed this entry (a duplicate) or the frame
+    /// is gone.
+    fn claim(self) -> Option<Arc<Frame<P>>>;
+}
+
+impl<P: Problem> DequeEntry<P> for Arc<Frame<P>> {
+    #[inline]
+    fn make(frame: &Arc<Frame<P>>) -> Self {
+        Arc::clone(frame)
+    }
+
+    #[inline]
+    fn claim(self) -> Option<Arc<Frame<P>>> {
+        Some(self)
+    }
+}
+
+/// Entry type for the fence-free (multiplicity) backend: a weak frame
+/// handle plus the claim epoch snapshotted at push time. Weak, because
+/// duplicate extractions outlive the frame's synchronous lifecycle and a
+/// strong handle would keep retired shells (and their whole parent
+/// chains) alive from dead log slots; the epoch CAS in `claim` also makes
+/// a stale entry harmless after the shell is pooled and reused, since
+/// `Frame::claim_seq` is never reset.
+pub(crate) struct FfEntry<P: Problem> {
+    frame: Weak<Frame<P>>,
+    epoch: u64,
+}
+
+impl<P: Problem> Clone for FfEntry<P> {
+    fn clone(&self) -> Self {
+        FfEntry {
+            frame: Weak::clone(&self.frame),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl<P: Problem> DequeEntry<P> for FfEntry<P> {
+    fn make(frame: &Arc<Frame<P>>) -> Self {
+        // Relaxed: the owner is the only writer of its frames' epochs
+        // between push and claim, and the push's Release publication
+        // orders the snapshot for thieves.
+        FfEntry {
+            frame: Arc::downgrade(frame),
+            epoch: frame.claim_seq.load(Ordering::Relaxed),
+        }
+    }
+
+    fn claim(self) -> Option<Arc<Frame<P>>> {
+        let frame = self.frame.upgrade()?;
+        // AcqRel success: the winner's claim synchronizes with whatever
+        // the loser does next. Acquire on *failure* is load-bearing: a
+        // losing owner pop must observe the winning thief's prior deque
+        // cursor CAS, so the owner's subsequent `pop_special` reliably
+        // reports `ChildStolen` for the special the thief passed.
+        frame
+            .claim_seq
+            .compare_exchange(
+                self.epoch,
+                self.epoch + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .ok()?;
+        Some(frame)
+    }
 }
 
 /// The code-version regime a frame's children are spawned under.
@@ -194,7 +284,7 @@ struct SpineSlot<P: Problem> {
     live_entry: bool,
 }
 
-struct Worker<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> {
+struct Worker<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> {
     shared: &'s Shared<'p, P, D>,
     id: usize,
     stats: RunStats,
@@ -222,9 +312,11 @@ struct Worker<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> {
     /// compiled out; `None` when `Config::trace` is off).
     #[cfg_attr(not(feature = "trace"), allow(dead_code))]
     tr: WorkerTracer<'s>,
+    /// The deque-entry representation this engine instantiation uses.
+    _entry: PhantomData<E>,
 }
 
-impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
+impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D> {
     fn new(shared: &'s Shared<'p, P, D>, id: usize, rng: XorShift64, tr: WorkerTracer<'s>) -> Self {
         Worker {
             shared,
@@ -238,6 +330,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             spine: Vec::new(),
             region_base: 0,
             tr,
+            _entry: PhantomData,
         }
     }
 
@@ -353,6 +446,21 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
     /// reference; otherwise let it drop (a thief or late child still holds
     /// it).
     fn retire_frame(&mut self, mut frame: Arc<Frame<P>>) {
+        if Arc::get_mut(&mut frame).is_none() {
+            // Multiplicity backends keep a `Weak` per log entry for the
+            // whole run, so `get_mut` (which demands weak_count == 0) never
+            // succeeds there and shells are freed instead of pooled. Still
+            // recycle the workspace buffer — that is the allocation that
+            // actually matters — when no other strong holder remains.
+            // A stale entry may `upgrade` concurrently, but it only reads
+            // `claim_seq` (and loses the CAS), never the inner state.
+            if Arc::strong_count(&frame) == 1 {
+                if let Some(state) = frame.inner.lock().state.take() {
+                    self.recycle(state);
+                }
+            }
+            return;
+        }
         if let Some(f) = Arc::get_mut(&mut frame) {
             // Scrub every live reference so the parked frame keeps nothing
             // alive: the parent chain, leftover choices, the workspace.
@@ -371,11 +479,12 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
 
     /// Push a continuation entry, tolerating overflow by leaving the child
     /// unstealable (executed inline); returns whether the entry was pushed.
-    fn push_entry(&mut self, frame: Arc<Frame<P>>, special: bool) -> bool {
+    fn push_entry(&mut self, frame: &Arc<Frame<P>>, special: bool) -> bool {
+        let entry = E::make(frame);
         let result = if special {
-            self.my_deque().push_special(frame)
+            self.my_deque().push_special(entry)
         } else {
-            self.my_deque().push(frame)
+            self.my_deque().push(entry)
         };
         match result {
             Ok(()) => {
@@ -390,6 +499,33 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 false
             }
         }
+    }
+
+    /// Pop back the entry the owner pushed for the child it just ran and
+    /// claim it. Returns whether the owner still owns the continuation:
+    /// `false` means the frame was stolen — either the pop itself lost
+    /// the race (exact backends) or the popped entry lost the claim CAS
+    /// to a thief (multiplicity backends, a duplicate extraction).
+    fn pop_back(&mut self) -> bool {
+        let claimed = match self.my_deque().pop() {
+            Some(entry) => match entry.claim() {
+                Some(_frame) => true,
+                None => {
+                    self.stats.dup_extractions += 1;
+                    false
+                }
+            },
+            None => false,
+        };
+        self.publish_occupancy();
+        if claimed {
+            self.stats.deque_pops += 1;
+            tev!(self, Ev::Pop);
+        } else {
+            self.stats.pop_conflicts += 1;
+            tev!(self, Ev::PopConflict);
+        }
+        claimed
     }
 
     /// Does a child at task depth `tdepth` run as a task (with a frame)?
@@ -503,7 +639,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                     depth: frame.depth + 1
                 }
             );
-            let pushed = stealable && self.push_entry(Arc::clone(&frame), false);
+            let pushed = stealable && self.push_entry(&frame, false);
             self.exec_node(
                 child_state,
                 frame.logical + 1,
@@ -511,22 +647,10 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 Parent::Frame(Arc::clone(&frame)),
                 regime,
             );
-            if pushed {
-                match self.my_deque().pop() {
-                    Some(_) => {
-                        self.stats.deque_pops += 1;
-                        self.publish_occupancy();
-                        tev!(self, Ev::Pop);
-                    }
-                    None => {
-                        // Continuation stolen: a thief now runs this frame's
-                        // remaining children; unwind to the steal loop.
-                        self.stats.pop_conflicts += 1;
-                        self.publish_occupancy();
-                        tev!(self, Ev::PopConflict);
-                        return;
-                    }
-                }
+            if pushed && !self.pop_back() {
+                // Continuation stolen: a thief now runs this frame's
+                // remaining children; unwind to the steal loop.
+                return;
             }
         }
         if let Some(out) = frame.finish_continuation() {
@@ -712,7 +836,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             // The spawn that eager copying would have paid a clone for.
             self.stats.workspace_copies_saved += 1;
             tev!(self, Ev::CopySaved);
-            let pushed = stealable && self.push_entry(Arc::clone(&frame), false);
+            let pushed = stealable && self.push_entry(&frame, false);
             if let Some(slot) = self.spine.last_mut() {
                 slot.live_entry = pushed;
             }
@@ -726,31 +850,22 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             self.problem().undo(state, choice);
             self.trail.pop();
             if pushed {
-                match self.my_deque().pop() {
-                    Some(_) => {
-                        self.stats.deque_pops += 1;
-                        self.publish_occupancy();
-                        tev!(self, Ev::Pop);
-                        if let Some(slot) = self.spine.last_mut() {
-                            slot.live_entry = false;
-                        }
+                if self.pop_back() {
+                    if let Some(slot) = self.spine.last_mut() {
+                        slot.live_entry = false;
                     }
-                    None => {
-                        // Continuation stolen. The live workspace is
-                        // frame-pristine right now (the child's choice was
-                        // just undone): deposit a clone for the thief
-                        // unless a seal or service round already did.
-                        self.stats.pop_conflicts += 1;
-                        self.publish_occupancy();
-                        tev!(self, Ev::PopConflict);
-                        if !frame.ws_ready.load(Ordering::Acquire) {
-                            let snap = self.clone_state(state);
-                            frame.deposit_ws(snap);
-                            tev!(self, Ev::WsDeposit);
-                        }
-                        self.spine.pop();
-                        return;
+                } else {
+                    // Continuation stolen. The live workspace is
+                    // frame-pristine right now (the child's choice was
+                    // just undone): deposit a clone for the thief
+                    // unless a seal or service round already did.
+                    if !frame.ws_ready.load(Ordering::Acquire) {
+                        let snap = self.clone_state(state);
+                        frame.deposit_ws(snap);
+                        tev!(self, Ev::WsDeposit);
                     }
+                    self.spine.pop();
+                    return;
                 }
             }
         }
@@ -979,7 +1094,7 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
             self.problem().apply(&mut child, c);
             self.stats.tasks_created += 1;
             tev!(self, Ev::Spawn { depth: 0 });
-            let pushed = self.push_entry(Arc::clone(&special), true);
+            let pushed = self.push_entry(&special, true);
             let parent = Parent::Frame(Arc::clone(&special));
             if self.cos() {
                 self.run_region(child, logical + 1, 0, parent, Regime::Fast2);
@@ -1120,7 +1235,22 @@ impl<'s, 'p, P: Problem, D: WsDeque<Arc<Frame<P>>>> Worker<'s, 'p, P, D> {
                 }
             );
             match self.shared.deques[victim].steal() {
-                StealOutcome::Stolen(frame) => {
+                StealOutcome::Stolen(entry) => {
+                    let Some(frame) = entry.claim() else {
+                        // A duplicate of an entry some other extraction
+                        // already claimed (multiplicity backends only).
+                        // Not a failed steal: the victim's deque was not
+                        // empty, so neither the back-off nor the victim
+                        // signal should react — just retry.
+                        self.stats.dup_extractions += 1;
+                        tev!(
+                            self,
+                            Ev::StealDup {
+                                victim: victim as u32
+                            }
+                        );
+                        continue;
+                    };
                     self.shared.signals[victim].record_steal_success();
                     self.stats.steals_ok += 1;
                     tev!(
@@ -1229,16 +1359,26 @@ fn dispatch<'a, P: Problem>(
     tracer: TracerRef<'a>,
 ) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
     match cfg.backend {
-        DequeBackend::The => run_on::<P, TheDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer),
-        DequeBackend::ChaseLev => {
-            run_on::<P, ChaseLevDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer)
+        DequeBackend::The => {
+            run_on::<P, Arc<Frame<P>>, TheDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer)
         }
-        DequeBackend::Pool => run_on::<P, PoolDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer),
+        DequeBackend::ChaseLev => {
+            run_on::<P, Arc<Frame<P>>, ChaseLevDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer)
+        }
+        DequeBackend::Pool => {
+            run_on::<P, Arc<Frame<P>>, PoolDeque<Arc<Frame<P>>>>(problem, cfg, mode, tracer)
+        }
+        // The multiplicity backend stores (weak-ref, epoch) entries so that
+        // duplicate extractions can be rejected by the claim layer instead
+        // of running a task twice.
+        DequeBackend::FenceFree => {
+            run_on::<P, FfEntry<P>, FenceFreeDeque<FfEntry<P>>>(problem, cfg, mode, tracer)
+        }
     }
 }
 
-/// The engine, monomorphized over one deque backend.
-fn run_on<'a, P: Problem, D: WsDeque<Arc<Frame<P>>>>(
+/// The engine, monomorphized over one deque backend and its entry type.
+fn run_on<'a, P: Problem, E: DequeEntry<P>, D: WsDeque<E>>(
     problem: &'a P,
     cfg: &Config,
     mode: Mode,
@@ -1284,7 +1424,7 @@ fn run_on<'a, P: Problem, D: WsDeque<Arc<Frame<P>>>>(
             #[cfg_attr(not(feature = "trace"), allow(clippy::let_unit_value))]
             let tr = worker_tracer(tracer, id);
             handles.push(s.spawn(move || {
-                let mut w = Worker::new(shared, id, rng, tr);
+                let mut w = Worker::<P, E, D>::new(shared, id, rng, tr);
                 if id == 0 {
                     let root_state = shared.problem.root();
                     w.stats.tasks_created += 1; // the root task

@@ -15,7 +15,7 @@
 //! away, and the last delivering child performs the completion (the paper's
 //! Terminate rule (3)).
 
-use crate::sync::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use crate::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 use adaptivetc_core::{Problem, Reduce};
 use std::sync::Arc;
@@ -136,6 +136,15 @@ pub(crate) struct Frame<P: Problem> {
     /// stamp changing under the handshake would mean the frame was recycled
     /// while a steal was in flight (checked in debug builds).
     pub generation: AtomicU32,
+    /// Claim epoch for multiplicity deque backends (`fence-free`): each
+    /// deque entry snapshots this counter at push time, and every
+    /// extraction must CAS it from its snapshot to snapshot+1 before the
+    /// frame may run — duplicates of the same entry lose the CAS and are
+    /// discarded (`RunStats::dup_extractions`). Strictly monotone over
+    /// the *shell's* whole lifetime, pooled reuse included: never reset,
+    /// so a stale entry from a previous incarnation can never claim a
+    /// recycled shell (ABA guard). Exactly-once backends never touch it.
+    pub claim_seq: AtomicU64,
 }
 
 impl<P: Problem> Frame<P> {
@@ -162,6 +171,7 @@ impl<P: Problem> Frame<P> {
             ws_requested: AtomicBool::new(false),
             ws_ready: AtomicBool::new(false),
             generation: AtomicU32::new(0),
+            claim_seq: AtomicU64::new(0),
         })
     }
 

@@ -174,11 +174,23 @@ fn pools_report_reuse_on_all_backends() {
         );
         let (got, report) = Scheduler::CilkSynched.run(&p, &cfg).expect("runs");
         assert_eq!(got, want, "{}", backend.name());
-        assert!(
-            report.stats.frame_reuse > 0,
-            "{}: frame-per-node schedulers recycle frames",
-            backend.name()
-        );
+        if backend == DequeBackend::FenceFree {
+            // The multiplicity backend keeps a `Weak` per log entry for the
+            // whole run, which pins every shell's weak count and blocks
+            // `Arc::get_mut` pooling: shells are freed, not reused. The
+            // workspace buffers (the expensive allocation) must still
+            // recycle through the retire fallback.
+            assert_eq!(
+                report.stats.frame_reuse, 0,
+                "fence-free cannot pool shells while log entries hold weaks"
+            );
+        } else {
+            assert!(
+                report.stats.frame_reuse > 0,
+                "{}: frame-per-node schedulers recycle frames",
+                backend.name()
+            );
+        }
         assert!(report.stats.state_reuse > 0, "{}", backend.name());
         // The faithful Cilk baseline must keep allocating.
         let (_, report) = Scheduler::Cilk.run(&p, &cfg).expect("runs");

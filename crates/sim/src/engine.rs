@@ -205,6 +205,12 @@ pub(crate) struct Sim<'t> {
     /// owner-side region seals around special sections are not modelled —
     /// they are a liveness device, not a steady-state cost.
     cos: bool,
+    /// The deque backend being simulated. The sim's deques are exact
+    /// (`VecDeque`) regardless — multiplicity and the claim layer are a
+    /// memory-protocol concern, not a virtual-time one — but the owner's
+    /// pop charge depends on whether the backend fences its pop fast path
+    /// (see [`CostModel::pop_ns`]).
+    backend: adaptivetc_core::DequeBackend,
     max_stolen: u32,
     workers: Vec<WorkerSim>,
     heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>, // (time, seq, wid, epoch)
@@ -258,6 +264,7 @@ impl<'t> Sim<'t> {
             policy,
             cutoff,
             cos,
+            backend: cfg.backend,
             max_stolen: cfg.max_stolen_num,
             workers,
             heap: BinaryHeap::new(),
@@ -609,7 +616,7 @@ impl<'t> Sim<'t> {
             }
 
             Entry::PopCheck { frame, regime } => {
-                let cost = self.cost.deque_op_ns;
+                let cost = self.cost.pop_ns(self.backend);
                 self.workers[wid].stats.time.deque_ns += cost;
                 let retained = matches!(
                     self.workers[wid].deque.back(),
@@ -693,7 +700,7 @@ impl<'t> Sim<'t> {
             }
 
             Entry::SpecialPop { sframe } => {
-                let cost = self.cost.deque_op_ns;
+                let cost = self.cost.pop_ns(self.backend);
                 self.workers[wid].stats.time.deque_ns += cost;
                 let reclaimed = matches!(
                     self.workers[wid].deque.back(),

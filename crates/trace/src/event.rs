@@ -121,6 +121,14 @@ pub enum EventKind {
         /// The probed worker.
         victim: u32,
     },
+    /// The probe extracted a duplicate some other extraction had already
+    /// claimed (multiplicity backends only; the thief's share of
+    /// `RunStats::dup_extractions`). Not a failed steal: the deque was
+    /// not empty, so neither back-off nor the victim signal reacts.
+    StealDup {
+        /// The probed worker.
+        victim: u32,
+    },
     /// A node ran as a fake task (`RunStats::fake_tasks`).
     FakeTask {
         /// Task depth of the fake task.
@@ -204,6 +212,7 @@ pub enum Code {
     CopySaved = 18,
     SyncSuspend = 19,
     SyncResume = 20,
+    StealDup = 21,
 }
 
 /// The 16-byte wire format: one timestamp, one code, two small arguments.
@@ -250,6 +259,7 @@ impl RawEvent {
             EventKind::StealAttempt { victim } => (Code::StealAttempt, 0, victim as u16, 0),
             EventKind::StealOk { victim } => (Code::StealOk, 0, victim as u16, 0),
             EventKind::StealEmpty { victim } => (Code::StealEmpty, 0, victim as u16, 0),
+            EventKind::StealDup { victim } => (Code::StealDup, 0, victim as u16, 0),
             EventKind::FakeTask { depth } => (Code::FakeTask, 0, 0, depth),
             EventKind::Fsm { from, to, depth } => {
                 (Code::Fsm, (from as u8) << 4 | (to as u8), 0, depth)
@@ -317,7 +327,10 @@ impl RawEvent {
             17 => EventKind::WsTake,
             18 => EventKind::CopySaved,
             19 => EventKind::SyncSuspend,
-            _ => EventKind::SyncResume,
+            20 => EventKind::SyncResume,
+            _ => EventKind::StealDup {
+                victim: self.b as u32,
+            },
         }
     }
 }
@@ -342,6 +355,7 @@ impl EventKind {
             EventKind::StealAttempt { .. } => "steal_attempt",
             EventKind::StealOk { .. } => "steal_ok",
             EventKind::StealEmpty { .. } => "steal_empty",
+            EventKind::StealDup { .. } => "steal_dup",
             EventKind::FakeTask { .. } => "fake_task",
             EventKind::Fsm { .. } => "fsm",
             EventKind::SpecialBegin { .. } => "special_begin",
@@ -373,6 +387,7 @@ mod tests {
             EventKind::StealAttempt { victim: 7 },
             EventKind::StealOk { victim: 1 },
             EventKind::StealEmpty { victim: 65535 },
+            EventKind::StealDup { victim: 4 },
             EventKind::FakeTask { depth: u32::MAX },
             EventKind::SpecialBegin { depth: 9 },
             EventKind::SpecialEnd,
@@ -435,8 +450,8 @@ mod tests {
         let mut names: Vec<_> = all_kinds().iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        // 20 non-FSM variants + the single "fsm" name.
-        assert_eq!(names.len(), 21);
+        // 21 non-FSM variants + the single "fsm" name.
+        assert_eq!(names.len(), 22);
         let mut state_names: Vec<_> = FsmState::ALL.iter().map(|s| s.name()).collect();
         state_names.sort_unstable();
         state_names.dedup();

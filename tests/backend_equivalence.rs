@@ -43,6 +43,17 @@ where
                     "{label}: {scheduler} on {} with {threads} threads visited a different tree",
                     backend.name()
                 );
+                // Duplicate offers are the fence-free backend's private
+                // cost; an exact backend reporting any means the claim
+                // layer rejected an extraction that should not exist.
+                if backend != DequeBackend::FenceFree {
+                    assert_eq!(
+                        report.stats.dup_extractions,
+                        0,
+                        "{label}: exact backend {} offered duplicates",
+                        backend.name()
+                    );
+                }
             }
         }
     }

@@ -7,7 +7,9 @@
 //! replayable schedule trace on the first assertion failure, deadlock, or
 //! livelock. See `crates/check` in this workspace for the harness that
 //! applies it to the deque protocols, and DESIGN.md §8 for scope and
-//! limitations (sequentially consistent interleavings only).
+//! limitations. Interleavings are sequentially consistent by default;
+//! [`Config::tso`] switches on an x86-TSO store-buffer model so that
+//! fence-removal bugs (store buffering) become reachable violations.
 //!
 //! ```
 //! let report = shim_sync::explore(shim_sync::Config::default(), || {
@@ -26,4 +28,4 @@ mod rt;
 pub mod sync;
 pub mod thread;
 
-pub use rt::{current_trail, explore, replay, Config, Report};
+pub use rt::{current_trail, explore, replay, replay_with, Config, Report};

@@ -46,6 +46,9 @@ struct ThreadSt {
     /// Running hash of every value this thread has observed; together with
     /// `op_count` it is a proxy for the thread's deterministic local state.
     obs_hash: u64,
+    /// TSO mode: FIFO store buffer of (object id, value) pairs not yet
+    /// visible to other threads. Always empty when `Config::tso` is off.
+    store_buf: Vec<(u64, u64)>,
 }
 
 impl ThreadSt {
@@ -55,6 +58,7 @@ impl ThreadSt {
             pending_lock: None,
             op_count: 0,
             obs_hash: 0,
+            store_buf: Vec::new(),
         }
     }
 }
@@ -71,6 +75,8 @@ pub(crate) struct Frame {
 
 pub(crate) struct RtState {
     max_steps: u64,
+    /// Model x86-TSO store buffering (see [`Config::tso`]).
+    tso: bool,
     /// The single thread allowed to execute its pending operation.
     current: usize,
     threads: Vec<ThreadSt>,
@@ -81,6 +87,9 @@ pub(crate) struct RtState {
     /// Raw pointer -> first-seen ordinal, so `AtomicPtr` values hash
     /// deterministically across re-executions.
     ptr_ords: HashMap<usize, u64>,
+    /// Reverse of `ptr_ords`, so TSO-mode pointer loads can map a modelled
+    /// ordinal back to the real pointer the caller needs.
+    ptr_vals: HashMap<u64, usize>,
     next_obj_id: u64,
     forced: Vec<usize>,
     forced_pos: usize,
@@ -153,9 +162,32 @@ fn state_hash(st: &RtState) -> u64 {
             Status::BlockedJoin(j) => mix(5 ^ (j as u64).wrapping_mul(7)),
             Status::Finished => 11,
         };
-        h ^= mix2(mix2(i as u64 + 17, t.op_count), mix2(t.obs_hash, s));
+        // The store buffer is ordered (FIFO), so fold it sequentially.
+        let mut sb = 0u64;
+        for &(id, v) in &t.store_buf {
+            sb = mix2(sb, mix2(id, v));
+        }
+        h ^= mix2(
+            mix2(i as u64 + 17, t.op_count),
+            mix2(t.obs_hash, mix2(s, sb)),
+        );
     }
     h
+}
+
+/// TSO mode: commit every buffered store of `tid` to shared memory, in
+/// program order. Called at every drain point (SeqCst store/fence, any
+/// RMW, mutex lock/unlock, spawn/join, thread finish) — an
+/// all-or-nothing over-approximation of the x86 store buffer, which may
+/// also drain any FIFO *prefix* spontaneously; see [`Config::tso`].
+fn drain_stores(st: &mut RtState, tid: usize) {
+    if st.threads[tid].store_buf.is_empty() {
+        return;
+    }
+    let buf = std::mem::take(&mut st.threads[tid].store_buf);
+    for (id, v) in buf {
+        st.objects.insert(id, v);
+    }
 }
 
 fn runnable(st: &RtState, tid: usize) -> bool {
@@ -284,6 +316,155 @@ pub(crate) fn model_op<R>(
     r
 }
 
+// ---------------------------------------------------------------------------
+// TSO-mode operations
+// ---------------------------------------------------------------------------
+//
+// When `Config::tso` is on, the *model* is the ground truth for atomic
+// values: non-SeqCst stores sit in the writing thread's FIFO store buffer
+// until a drain point (SeqCst store or fence, any RMW, mutex lock/unlock,
+// spawn/join, thread finish), loads forward from the thread's own newest
+// buffered store and fall back to shared memory, and the wrappers in
+// `sync.rs` return the modelled value instead of the real atomic's. The
+// real atomics are still written through as mirrors (inside the token
+// window, so no physical race) to keep teardown fallbacks sane.
+
+/// Whether a TSO-mode exploration is active on this thread.
+pub(crate) fn tso_active() -> bool {
+    match tls() {
+        Some((ctx, _)) if !std::thread::panicking() => lock(&ctx).tso,
+        _ => false,
+    }
+}
+
+/// TSO load: forward from the own store buffer, else read shared memory.
+pub(crate) fn tso_load(id: u64, tag: &str) -> u64 {
+    let out = std::cell::Cell::new(0u64);
+    model_op(
+        || (),
+        |_, st| {
+            let tid = st.current;
+            let v = st.threads[tid]
+                .store_buf
+                .iter()
+                .rev()
+                .find(|&&(i, _)| i == id)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| st.objects.get(&id).copied().unwrap_or(0));
+            out.set(v);
+            (v, format!("{tag}#{id} load(tso) -> {v}"))
+        },
+    );
+    out.get()
+}
+
+/// TSO store: buffer, or drain-and-commit when `sc` (SeqCst).
+pub(crate) fn tso_store(id: u64, v: u64, sc: bool, tag: &str) {
+    model_op(
+        || (),
+        |_, st| {
+            let tid = st.current;
+            if sc {
+                drain_stores(st, tid);
+                st.objects.insert(id, v);
+            } else {
+                st.threads[tid].store_buf.push((id, v));
+            }
+            let k = if sc {
+                "store(tso,sc)"
+            } else {
+                "store(tso,buf)"
+            };
+            (v, format!("{tag}#{id} {k} {v}"))
+        },
+    );
+}
+
+/// TSO read-modify-write: drains the buffer (x86 locked ops flush), then
+/// applies `f` to the shared value; `f` returning `Some(new)` commits the
+/// write (CAS failure returns `None`). Returns the old shared value.
+pub(crate) fn tso_rmw(id: u64, f: impl FnOnce(u64) -> Option<u64>, tag: &str) -> u64 {
+    let out = std::cell::Cell::new(0u64);
+    let mut f = Some(f);
+    model_op(
+        || (),
+        |_, st| {
+            let tid = st.current;
+            drain_stores(st, tid);
+            let old = st.objects.get(&id).copied().unwrap_or(0);
+            let wrote = match (f.take().expect("rmw closure"))(old) {
+                Some(new) => {
+                    st.objects.insert(id, new);
+                    true
+                }
+                None => false,
+            };
+            out.set(old);
+            (old, format!("{tag}#{id} rmw(tso) {old} wrote:{wrote}"))
+        },
+    );
+    out.get()
+}
+
+/// TSO fence: a SeqCst fence drains the buffer; weaker fences are a pure
+/// yield point (x86 acquire/release fences compile to nothing).
+pub(crate) fn tso_fence(sc: bool) {
+    model_op(
+        || (),
+        |_, st| {
+            if sc {
+                let tid = st.current;
+                drain_stores(st, tid);
+            }
+            (u64::from(sc), format!("fence(tso, sc={sc})"))
+        },
+    );
+}
+
+/// TSO pointer store: like [`tso_store`] but normalises to an ordinal.
+pub(crate) fn tso_ptr_store(id: u64, p: usize, sc: bool) {
+    model_op(
+        || (),
+        |_, st| {
+            let ord = ptr_ord(st, p);
+            let tid = st.current;
+            if sc {
+                drain_stores(st, tid);
+                st.objects.insert(id, ord);
+            } else {
+                st.threads[tid].store_buf.push((id, ord));
+            }
+            (ord, format!("AtomicPtr#{id} store(tso) ptr:{ord}"))
+        },
+    );
+}
+
+/// TSO pointer load: resolves the modelled ordinal back to the real
+/// pointer (0 = null).
+pub(crate) fn tso_ptr_load(id: u64) -> usize {
+    let out = std::cell::Cell::new(0usize);
+    model_op(
+        || (),
+        |_, st| {
+            let tid = st.current;
+            let ord = st.threads[tid]
+                .store_buf
+                .iter()
+                .rev()
+                .find(|&&(i, _)| i == id)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| st.objects.get(&id).copied().unwrap_or(0));
+            out.set(if ord == 0 {
+                0
+            } else {
+                st.ptr_vals.get(&ord).copied().unwrap_or(0)
+            });
+            (ord, format!("AtomicPtr#{id} load(tso) -> ptr:{ord}"))
+        },
+    );
+    out.get()
+}
+
 /// Register an atomic object; returns 0 outside an active execution.
 pub(crate) fn register_object(init: u64) -> u64 {
     match tls() {
@@ -335,7 +516,9 @@ pub(crate) fn ptr_ord(st: &mut RtState, p: usize) -> u64 {
         return 0;
     }
     let next = st.ptr_ords.len() as u64 + 1;
-    *st.ptr_ords.entry(p).or_insert(next)
+    let ord = *st.ptr_ords.entry(p).or_insert(next);
+    st.ptr_vals.entry(ord).or_insert(p);
+    ord
 }
 
 pub(crate) fn register_mutex() -> u64 {
@@ -404,6 +587,7 @@ pub(crate) fn model_lock(id: u64) -> bool {
         g.threads[tid].status = Status::BlockedMutex(id);
     }
     g.mutex_owner.insert(id, Some(tid));
+    drain_stores(&mut g, tid); // lock acquisition is an RMW: flush (TSO)
     g.threads[tid].pending_lock = None;
     g.threads[tid].status = Status::Runnable;
     // Threads whose pending op wants this mutex are no longer enabled.
@@ -435,6 +619,10 @@ pub(crate) fn model_unlock(id: u64) {
     if g.teardown {
         return;
     }
+    // The x86 store buffer is FIFO: by the time another thread observes
+    // the releasing store it has observed everything before it, so the
+    // release commits the whole buffer.
+    drain_stores(&mut g, tid);
     g.mutex_owner.insert(id, None);
     for t in g.threads.iter_mut() {
         if t.status == Status::BlockedMutex(id) {
@@ -499,6 +687,7 @@ where
         drop(g);
         abort();
     }
+    drain_stores(&mut g, tid); // spawn is a synchronisation edge (TSO)
     let step = g.steps;
     let t = &mut g.threads[tid];
     t.op_count += 1;
@@ -558,6 +747,7 @@ where
                 Some(Err("model thread panicked".to_string()));
         }
     }
+    drain_stores(&mut g, tid); // thread exit publishes its buffer (TSO)
     g.threads[tid].status = Status::Finished;
     for t in g.threads.iter_mut() {
         if t.status == Status::BlockedJoin(tid) {
@@ -623,6 +813,7 @@ pub(crate) fn model_join(target: usize) -> bool {
             abort();
         }
     }
+    drain_stores(&mut g, tid); // join is a synchronisation edge (TSO)
     let step = g.steps;
     let t = &mut g.threads[tid];
     t.op_count += 1;
@@ -654,6 +845,18 @@ pub struct Config {
     pub max_steps: u64,
     /// Wall-clock budget; overridable with `SHIM_SYNC_MAX_WALL_SECS`.
     pub max_wall: Duration,
+    /// Model x86-TSO store buffering instead of sequential consistency:
+    /// every non-SeqCst store enters the writing thread's FIFO buffer and
+    /// only becomes visible to other threads at a drain point (SeqCst
+    /// store/fence, any RMW, mutex lock/unlock, spawn/join, thread exit);
+    /// loads forward from the own buffer first. Atomics must be created
+    /// *inside* the explored closure in this mode (id-0 objects fall back
+    /// to the SC path). Over-approximation: the real buffer may also
+    /// drain any FIFO prefix spontaneously between instructions; this
+    /// model only drains whole buffers at the listed points, so it
+    /// explores a subset of TSO behaviours (every violation it finds is
+    /// real; absence of violations is evidence, not proof).
+    pub tso: bool,
 }
 
 impl Default for Config {
@@ -663,6 +866,7 @@ impl Default for Config {
             max_schedules: 1_000_000,
             max_steps: 20_000,
             max_wall: Duration::from_secs(300),
+            tso: false,
         }
     }
 }
@@ -710,11 +914,13 @@ fn run_one(
     let ctx = Arc::new(Ctx {
         st: StdMutex::new(RtState {
             max_steps: cfg.max_steps,
+            tso: cfg.tso,
             current: 0,
             threads: vec![ThreadSt::new(Status::Starting)],
             mutex_owner: HashMap::new(),
             objects: HashMap::new(),
             ptr_ords: HashMap::new(),
+            ptr_vals: HashMap::new(),
             next_obj_id: 0,
             forced,
             forced_pos: 0,
@@ -855,13 +1061,16 @@ pub fn replay<F>(trail: &[usize], f: F)
 where
     F: Fn() + Send + Sync + 'static,
 {
-    let out = run_one(
-        &Config::default(),
-        trail.to_vec(),
-        HashMap::new(),
-        false,
-        Arc::new(f),
-    );
+    replay_with(Config::default(), trail, f);
+}
+
+/// [`replay`] with an explicit [`Config`], for replaying trails recorded
+/// under a non-default memory model (e.g. `tso: true`).
+pub fn replay_with<F>(cfg: Config, trail: &[usize], f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let out = run_one(&cfg, trail.to_vec(), HashMap::new(), false, Arc::new(f));
     if let Some(v) = out.violation {
         panic!("{}", format_violation(&v, &out.trail, &out.ops));
     }

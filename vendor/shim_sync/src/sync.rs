@@ -8,9 +8,15 @@
 //! straight to the inner primitive, so code instrumented with these types
 //! still runs correctly under plain threads.
 //!
-//! Orderings are accepted for API compatibility but the explorer only
-//! enumerates sequentially consistent interleavings; it does not model
-//! weak-memory reorderings.
+//! Orderings are accepted for API compatibility. By default the explorer
+//! enumerates sequentially consistent interleavings and ignores them; with
+//! [`crate::Config::tso`] set, stores/loads/RMWs/fences additionally route
+//! through an x86-TSO store-buffer model in [`crate::rt`] — non-SeqCst
+//! stores are buffered per thread until a drain point and the *model*
+//! value is returned, so store-buffering reorderings become reachable.
+//! Atomics participating in TSO exploration must be created inside the
+//! explored closure (objects registered outside an execution have id 0 and
+//! fall back to the sequentially consistent path).
 
 use crate::rt;
 pub use std::sync::atomic::Ordering;
@@ -32,6 +38,9 @@ macro_rules! int_atomic {
             }
 
             pub fn load(&self, o: Ordering) -> $prim {
+                if self.id != 0 && rt::tso_active() {
+                    return rt::tso_load(self.id, $tag) as $prim;
+                }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.load(o),
@@ -40,6 +49,12 @@ macro_rules! int_atomic {
             }
 
             pub fn store(&self, v: $prim, o: Ordering) {
+                if self.id != 0 && rt::tso_active() {
+                    rt::tso_store(self.id, v as u64, matches!(o, Ordering::SeqCst), $tag);
+                    // Mirror inside the token window (no physical race).
+                    self.inner.store(v, o);
+                    return;
+                }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.store(v, o),
@@ -51,6 +66,11 @@ macro_rules! int_atomic {
             }
 
             pub fn swap(&self, v: $prim, o: Ordering) -> $prim {
+                if self.id != 0 && rt::tso_active() {
+                    let old = rt::tso_rmw(self.id, |_| Some(v as u64), $tag) as $prim;
+                    self.inner.store(v, Ordering::SeqCst);
+                    return old;
+                }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.swap(v, o),
@@ -65,6 +85,13 @@ macro_rules! int_atomic {
             }
 
             pub fn fetch_add(&self, v: $prim, o: Ordering) -> $prim {
+                if self.id != 0 && rt::tso_active() {
+                    let old =
+                        rt::tso_rmw(self.id, |c| Some((c as $prim).wrapping_add(v) as u64), $tag)
+                            as $prim;
+                    self.inner.store(old.wrapping_add(v), Ordering::SeqCst);
+                    return old;
+                }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.fetch_add(v, o),
@@ -79,6 +106,13 @@ macro_rules! int_atomic {
             }
 
             pub fn fetch_sub(&self, v: $prim, o: Ordering) -> $prim {
+                if self.id != 0 && rt::tso_active() {
+                    let old =
+                        rt::tso_rmw(self.id, |c| Some((c as $prim).wrapping_sub(v) as u64), $tag)
+                            as $prim;
+                    self.inner.store(old.wrapping_sub(v), Ordering::SeqCst);
+                    return old;
+                }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.fetch_sub(v, o),
@@ -99,6 +133,25 @@ macro_rules! int_atomic {
                 ok: Ordering,
                 err: Ordering,
             ) -> Result<$prim, $prim> {
+                if self.id != 0 && rt::tso_active() {
+                    let old = rt::tso_rmw(
+                        self.id,
+                        |c| {
+                            if c == cur as u64 {
+                                Some(new as u64)
+                            } else {
+                                None
+                            }
+                        },
+                        $tag,
+                    ) as $prim;
+                    return if old == cur {
+                        self.inner.store(new, Ordering::SeqCst);
+                        Ok(old)
+                    } else {
+                        Err(old)
+                    };
+                }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.compare_exchange(cur, new, ok, err),
@@ -162,6 +215,9 @@ impl AtomicBool {
     }
 
     pub fn load(&self, o: Ordering) -> bool {
+        if self.id != 0 && rt::tso_active() {
+            return rt::tso_load(self.id, "AtomicBool") != 0;
+        }
         let id = self.id;
         rt::model_op(
             || self.inner.load(o),
@@ -170,6 +226,16 @@ impl AtomicBool {
     }
 
     pub fn store(&self, v: bool, o: Ordering) {
+        if self.id != 0 && rt::tso_active() {
+            rt::tso_store(
+                self.id,
+                u64::from(v),
+                matches!(o, Ordering::SeqCst),
+                "AtomicBool",
+            );
+            self.inner.store(v, o);
+            return;
+        }
         let id = self.id;
         rt::model_op(
             || self.inner.store(v, o),
@@ -181,6 +247,11 @@ impl AtomicBool {
     }
 
     pub fn swap(&self, v: bool, o: Ordering) -> bool {
+        if self.id != 0 && rt::tso_active() {
+            let old = rt::tso_rmw(self.id, |_| Some(u64::from(v)), "AtomicBool") != 0;
+            self.inner.store(v, Ordering::SeqCst);
+            return old;
+        }
         let id = self.id;
         rt::model_op(
             || self.inner.swap(v, o),
@@ -218,6 +289,9 @@ impl<T> AtomicPtr<T> {
     }
 
     pub fn load(&self, o: Ordering) -> *mut T {
+        if self.id != 0 && rt::tso_active() {
+            return rt::tso_ptr_load(self.id) as *mut T;
+        }
         let id = self.id;
         rt::model_op(
             || self.inner.load(o),
@@ -229,6 +303,11 @@ impl<T> AtomicPtr<T> {
     }
 
     pub fn store(&self, p: *mut T, o: Ordering) {
+        if self.id != 0 && rt::tso_active() {
+            rt::tso_ptr_store(self.id, p as usize, matches!(o, Ordering::SeqCst));
+            self.inner.store(p, o);
+            return;
+        }
         let id = self.id;
         rt::model_op(
             || self.inner.store(p, o),
@@ -253,9 +332,16 @@ impl<T> std::fmt::Debug for AtomicPtr<T> {
     }
 }
 
-/// A memory fence is a pure yield point under the explorer (interleavings
-/// are already sequentially consistent) and a real fence otherwise.
+/// A memory fence is a pure yield point under the SC explorer
+/// (interleavings are already sequentially consistent), a store-buffer
+/// drain point under the TSO explorer when SeqCst, and a real fence
+/// otherwise.
 pub fn fence(o: Ordering) {
+    if rt::tso_active() {
+        rt::tso_fence(matches!(o, Ordering::SeqCst));
+        std::sync::atomic::fence(o);
+        return;
+    }
     rt::model_op(
         || std::sync::atomic::fence(o),
         |_, _| (0, format!("fence({o:?})")),
