@@ -1,0 +1,379 @@
+//! Job-server throughput and latency: the PR 7 persistent-pool benchmark.
+//!
+//! Three mixes, each reported as jobs/sec with p50/p99
+//! submission-to-terminal latency:
+//!
+//! * **flood** — many tiny Figure-1 jobs (single-slot): the pool-reuse
+//!   case. Compared against the spin-up-per-job baseline (a fresh
+//!   `Scheduler::run`, with its own scoped worker threads, per job at
+//!   the same OS-level parallelism); the persistent pool must be ≥2×.
+//! * **heavy** — a few n-queens jobs at multiple slots with work-sharing.
+//! * **mixed** — floods and heavies interleaved across priority lanes,
+//!   with a slice of mid-stream cancellations.
+//!
+//! Writes `BENCH_pr7.json`. `ABLATION_SMOKE=1` shrinks the mixes for the
+//! CI smoke lane.
+//!
+//! ```text
+//! cargo run --release -p adaptivetc-bench --bin bench_jobserver
+//! ```
+
+use adaptivetc_core::{Config, CutoffPolicy};
+use adaptivetc_runtime::{
+    JobHandle, JobOutcome, JobServer, Mode, Priority, Scheduler, ServerConfig,
+};
+use adaptivetc_workloads::fig1::Fig1Tree;
+use adaptivetc_workloads::nqueens::NqueensArray;
+use std::time::Instant;
+
+const WORKERS: usize = 4;
+
+struct MixRow {
+    mix: &'static str,
+    jobs: usize,
+    completed: u64,
+    cancelled: u64,
+    wall_ns: u64,
+    jobs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    baseline_jobs_per_sec: f64,
+    speedup: f64,
+}
+
+impl MixRow {
+    fn print(&self) {
+        println!(
+            "{:<7} {:>5} {:>5} {:>5} {:>12.0} {:>9.1} {:>9.1} {:>12.0} {:>8}",
+            self.mix,
+            self.jobs,
+            self.completed,
+            self.cancelled,
+            self.jobs_per_sec,
+            self.p50_us,
+            self.p99_us,
+            self.baseline_jobs_per_sec,
+            if self.baseline_jobs_per_sec > 0.0 {
+                format!("{:.2}x", self.speedup)
+            } else {
+                "-".into()
+            },
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"mix\":\"{}\",\"jobs\":{},\"completed\":{},\"cancelled\":{},\
+             \"wall_ns\":{},\"jobs_per_sec\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1},\
+             \"baseline_jobs_per_sec\":{:.1},\"speedup\":{:.3},\"workers\":{}}}",
+            self.mix,
+            self.jobs,
+            self.completed,
+            self.cancelled,
+            self.wall_ns,
+            self.jobs_per_sec,
+            self.p50_us,
+            self.p99_us,
+            self.baseline_jobs_per_sec,
+            self.speedup,
+            WORKERS,
+        )
+    }
+}
+
+/// Spin until the handle's terminal latency is published, then collect
+/// the outcome. (`latency()` is stored before the outcome is published,
+/// so the spin is a handful of iterations at most.)
+fn settle(h: JobHandle<u64>) -> (JobOutcome<u64>, f64) {
+    let lat_us = loop {
+        match h.latency() {
+            Some(d) => break d.as_nanos() as f64 / 1_000.0,
+            None if h.status().is_terminal() => std::hint::spin_loop(),
+            None => std::thread::yield_now(),
+        }
+    };
+    (h.wait(), lat_us)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn finish_row(
+    mix: &'static str,
+    jobs: usize,
+    completed: u64,
+    cancelled: u64,
+    wall_ns: u64,
+    mut lats: Vec<f64>,
+    baseline: Option<(u64, usize)>,
+) -> MixRow {
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let jobs_per_sec = jobs as f64 / (wall_ns.max(1) as f64 / 1e9);
+    let baseline_jobs_per_sec = match baseline {
+        Some((wall, jobs)) if wall > 0 => jobs as f64 / (wall as f64 / 1e9),
+        _ => 0.0,
+    };
+    MixRow {
+        mix,
+        jobs,
+        completed,
+        cancelled,
+        wall_ns,
+        jobs_per_sec,
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+        baseline_jobs_per_sec,
+        speedup: if baseline_jobs_per_sec > 0.0 {
+            jobs_per_sec / baseline_jobs_per_sec
+        } else {
+            0.0
+        },
+    }
+}
+
+fn flood_cfg(seed: u64) -> Config {
+    Config::new(1).cutoff(CutoffPolicy::Auto).seed(seed)
+}
+
+fn heavy_cfg(seed: u64) -> Config {
+    Config::new(WORKERS).cutoff(CutoffPolicy::Auto).seed(seed)
+}
+
+/// The spin-up-per-job baseline: `WORKERS` OS threads each run a slice of
+/// the flood, paying a full `Scheduler::run` (scoped worker spawn + join)
+/// per job — exactly what a caller without a persistent pool would do.
+fn flood_baseline(jobs: usize) -> u64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for lane in 0..WORKERS {
+            s.spawn(move || {
+                for i in (lane..jobs).step_by(WORKERS) {
+                    let (out, _) = Scheduler::AdaptiveTc
+                        .run(&Fig1Tree::new(), &flood_cfg(i as u64))
+                        .expect("baseline run");
+                    assert_eq!(out, Fig1Tree::LEAVES);
+                }
+            });
+        }
+    });
+    t0.elapsed().as_nanos() as u64
+}
+
+fn flood_mix(jobs: usize) -> MixRow {
+    let server = JobServer::new(ServerConfig::new(WORKERS).queue_capacity(jobs.max(8)));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            server
+                .submit(
+                    Fig1Tree::new(),
+                    flood_cfg(i as u64),
+                    Mode::Adaptive,
+                    Priority::Normal,
+                )
+                .expect("flood submission")
+        })
+        .collect();
+    let mut lats = Vec::with_capacity(jobs);
+    let mut completed = 0u64;
+    for h in handles {
+        let (outcome, lat) = settle(h);
+        match outcome {
+            JobOutcome::Completed { out, .. } => {
+                assert_eq!(out, Fig1Tree::LEAVES);
+                completed += 1;
+            }
+            JobOutcome::Cancelled { .. } => unreachable!("flood never cancels"),
+        }
+        lats.push(lat);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    server.shutdown();
+    let baseline = flood_baseline(jobs);
+    finish_row(
+        "flood",
+        jobs,
+        completed,
+        0,
+        wall_ns,
+        lats,
+        Some((baseline, jobs)),
+    )
+}
+
+fn heavy_mix(jobs: usize, board: u8, expected: u64) -> MixRow {
+    let server = JobServer::new(ServerConfig::new(WORKERS).work_sharing(true));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            server
+                .submit(
+                    NqueensArray::new(board),
+                    heavy_cfg(i as u64),
+                    Mode::Adaptive,
+                    Priority::Normal,
+                )
+                .expect("heavy submission")
+        })
+        .collect();
+    let mut lats = Vec::with_capacity(jobs);
+    let mut completed = 0u64;
+    for h in handles {
+        let (outcome, lat) = settle(h);
+        match outcome {
+            JobOutcome::Completed { out, .. } => {
+                assert_eq!(out, expected);
+                completed += 1;
+            }
+            JobOutcome::Cancelled { .. } => unreachable!("heavy never cancels"),
+        }
+        lats.push(lat);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    server.shutdown();
+    // Sequential spin-up baseline: each heavy job already uses every core,
+    // so one `Scheduler::run` per job back-to-back is the fair comparison.
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        let (out, _) = Scheduler::AdaptiveTc
+            .run(&NqueensArray::new(board), &heavy_cfg(i as u64))
+            .expect("baseline run");
+        assert_eq!(out, expected);
+    }
+    let baseline = t0.elapsed().as_nanos() as u64;
+    finish_row(
+        "heavy",
+        jobs,
+        completed,
+        0,
+        wall_ns,
+        lats,
+        Some((baseline, jobs)),
+    )
+}
+
+fn mixed_mix(floods: usize, heavies: usize, board: u8, expected: u64) -> MixRow {
+    let server = JobServer::new(
+        ServerConfig::new(WORKERS)
+            .queue_capacity((floods + heavies).max(8))
+            .work_sharing(true),
+    );
+    let jobs = floods + heavies;
+    let t0 = Instant::now();
+    let mut flood_handles = Vec::with_capacity(floods);
+    let mut heavy_handles = Vec::with_capacity(heavies);
+    // Heavies go in first on the low lane; floods then overtake them on
+    // normal/high, with every eighth flood cancelled mid-stream.
+    for i in 0..heavies {
+        heavy_handles.push(
+            server
+                .submit(
+                    NqueensArray::new(board),
+                    heavy_cfg(i as u64),
+                    Mode::Adaptive,
+                    Priority::Low,
+                )
+                .expect("mixed heavy submission"),
+        );
+    }
+    for i in 0..floods {
+        let priority = if i % 4 == 0 {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
+        let h = server
+            .submit(
+                Fig1Tree::new(),
+                flood_cfg(i as u64),
+                Mode::Adaptive,
+                priority,
+            )
+            .expect("mixed flood submission");
+        if i % 8 == 3 {
+            h.cancel();
+        }
+        flood_handles.push(h);
+    }
+    let mut lats = Vec::with_capacity(jobs);
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for h in flood_handles {
+        let (outcome, lat) = settle(h);
+        match outcome {
+            JobOutcome::Completed { out, .. } => {
+                assert_eq!(out, Fig1Tree::LEAVES);
+                completed += 1;
+                lats.push(lat);
+            }
+            JobOutcome::Cancelled { .. } => cancelled += 1,
+        }
+    }
+    for h in heavy_handles {
+        let (outcome, lat) = settle(h);
+        match outcome {
+            JobOutcome::Completed { out, .. } => {
+                assert_eq!(out, expected);
+                completed += 1;
+                lats.push(lat);
+            }
+            JobOutcome::Cancelled { .. } => cancelled += 1,
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    server.shutdown();
+    finish_row("mixed", jobs, completed, cancelled, wall_ns, lats, None)
+}
+
+fn main() {
+    let smoke = std::env::var_os("ABLATION_SMOKE").is_some();
+    let (flood_jobs, heavy_jobs, board) = if smoke { (64, 3, 7u8) } else { (512, 8, 9u8) };
+    let expected = Scheduler::AdaptiveTc
+        .run(&NqueensArray::new(board), &heavy_cfg(0))
+        .expect("reference run")
+        .0;
+
+    println!(
+        "Job-server benchmark ({WORKERS} pool workers{})\n",
+        if smoke { ", ABLATION_SMOKE" } else { "" }
+    );
+    println!(
+        "{:<7} {:>5} {:>5} {:>5} {:>12} {:>9} {:>9} {:>12} {:>8}",
+        "mix", "jobs", "done", "canc", "jobs/sec", "p50 us", "p99 us", "base j/s", "speedup"
+    );
+
+    let rows = [
+        flood_mix(flood_jobs),
+        heavy_mix(heavy_jobs, board, expected),
+        mixed_mix(flood_jobs / 2, heavy_jobs.div_ceil(2), board, expected),
+    ];
+    for r in &rows {
+        r.print();
+    }
+
+    let flood = &rows[0];
+    println!(
+        "\nflood pool-reuse speedup over spin-up-per-job: {:.2}x (budget: >= 2x)",
+        flood.speedup
+    );
+    assert!(
+        flood.speedup >= 2.0,
+        "persistent pool only {:.2}x over spin-up-per-job on the flood mix",
+        flood.speedup
+    );
+
+    let json = format!(
+        "[\n  {}\n]\n",
+        rows.iter()
+            .map(MixRow::json)
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    std::fs::write("BENCH_pr7.json", json).expect("write BENCH_pr7.json");
+    println!("wrote {} mixes to BENCH_pr7.json", rows.len());
+}

@@ -19,7 +19,12 @@
 //! * `signal_delivery.rs` — `need_task` delivery and acknowledgement;
 //! * `fsm_transition.rs` — the fast→check→fast_2 walk of a miniature
 //!   worker (driven by `adaptivetc_runtime::fsm`) under a concurrent
-//!   thief.
+//!   thief;
+//! * `jobserver_submit.rs` — the job-server submission kernel
+//!   (`runtime/src/submit.rs`, included below): no lost submission, no
+//!   double claim, and the cancel-vs-complete race resolving to exactly
+//!   one terminal state, exhaustive at 2 workers × 2 jobs, with a pinned
+//!   replayable race-window schedule.
 //!
 //! Payloads in model-checked scenarios should be `Copy` integers: a
 //! violation tears the execution down by unwinding every model thread, and
@@ -58,6 +63,9 @@ pub mod fence_free;
 
 #[path = "../../deque/src/signal.rs"]
 pub mod signal;
+
+#[path = "../../runtime/src/submit.rs"]
+pub mod submit;
 
 pub use shim_sync::{current_trail, explore, replay, replay_with, Config, Report};
 

@@ -86,7 +86,10 @@ impl<C, O> Expansion<C, O> {
 /// let (fib20, _) = serial::run(&Fib);
 /// assert_eq!(fib20, 6765);
 /// ```
-pub trait Problem: Sync {
+/// `Send + Sync` because workers share the problem by reference during a
+/// run, and the job server additionally moves owned problem instances into
+/// its long-lived pool threads.
+pub trait Problem: Send + Sync {
     /// The taskprivate workspace. Cloning it is the paper's workspace copy.
     type State: Clone + Send;
     /// One branch out of an interior node.

@@ -81,6 +81,7 @@
 use crate::frame::{deliver, Frame, OutCell, Parent};
 use crate::fsm;
 use crate::pool::Pool;
+use crate::submit::CancelToken;
 use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 use crate::trace::{tev, worker_tracer, TracerRef, WorkerTracer};
 use adaptivetc_core::{
@@ -227,9 +228,30 @@ pub(crate) enum Regime {
     Fast2,
 }
 
-struct Shared<'p, P: Problem, D> {
-    problem: &'p P,
-    deques: Vec<D>,
+/// How the engine's shared state holds the problem: borrowed for the
+/// one-shot [`run`] entry points (the problem outlives the scoped worker
+/// threads), owned for [`crate::server`] jobs (the job context must be
+/// `'static` to be shared across long-lived pool workers).
+pub(crate) enum ProblemRef<'p, P> {
+    /// Borrowed from the caller (`Scheduler::run`).
+    Borrowed(&'p P),
+    /// Owned by the job context (`JobServer` submissions).
+    Owned(Arc<P>),
+}
+
+impl<P> ProblemRef<'_, P> {
+    #[inline]
+    fn get(&self) -> &P {
+        match self {
+            ProblemRef::Borrowed(p) => p,
+            ProblemRef::Owned(p) => p,
+        }
+    }
+}
+
+pub(crate) struct Shared<'p, P: Problem, D> {
+    pub(crate) problem: ProblemRef<'p, P>,
+    pub(crate) deques: Vec<D>,
     /// Per-worker `need_task` signals. Padded: a thief hammering one
     /// worker's signal must not invalidate its neighbours' lines.
     signals: Vec<CachePadded<NeedTask>>,
@@ -240,14 +262,72 @@ struct Shared<'p, P: Problem, D> {
     /// Per-worker copy-on-steal doorbells: a thief waiting for a workspace
     /// deposit raises the owner's hint; the owner checks it at poll points.
     ws_hints: Vec<CachePadded<AtomicBool>>,
-    root: Arc<OutCell<P::Out>>,
+    pub(crate) root: Arc<OutCell<P::Out>>,
     mode: Mode,
     cutoff: u32,
     victim: VictimPolicy,
     /// Copy-on-steal active (policy says so and the mode is not a
     /// faithful eager-copy Cilk baseline).
-    cos: bool,
+    pub(crate) cos: bool,
     timing: bool,
+    /// Cooperative cancellation for `JobServer` jobs: when raised, the
+    /// poll points below prune remaining expansions to identity leaves so
+    /// the delivery chain still completes the root cell. `None` (the
+    /// one-shot entry points) compiles to a single branch per node.
+    cancel: Option<CancelToken>,
+}
+
+impl<'p, P: Problem, D> Shared<'p, P, D> {
+    /// Build the engine's shared state for `slots` worker slots.
+    ///
+    /// `slots` may be smaller than `cfg.threads` (a server job clamped to
+    /// the pool size); the cut-off still derives from `cfg.threads`, so a
+    /// job's task-creation frontier is a function of its own configuration
+    /// only, never of pool occupancy.
+    pub(crate) fn new<E>(
+        problem: ProblemRef<'p, P>,
+        cfg: &Config,
+        mode: Mode,
+        slots: usize,
+        cancel: Option<CancelToken>,
+    ) -> Self
+    where
+        E: Send,
+        D: WsDeque<E>,
+    {
+        let cos = cfg.workspace == WorkspacePolicy::CopyOnSteal
+            && !matches!(mode, Mode::Cilk | Mode::CilkSynched);
+        Shared {
+            problem,
+            deques: (0..slots)
+                .map(|_| D::with_capacity(cfg.deque_capacity))
+                .collect(),
+            signals: (0..slots)
+                .map(|_| CachePadded::new(NeedTask::new(cfg.max_stolen_num)))
+                .collect(),
+            occupancy: (0..slots)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            ws_hints: (0..slots)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            root: OutCell::new(),
+            mode,
+            cutoff: cfg.cutoff_depth().max(1),
+            victim: cfg.victim,
+            cos,
+            timing: cfg.timing,
+            cancel,
+        }
+    }
+
+    /// The per-slot deterministic RNG streams `cfg.seed` expands to —
+    /// shared by [`run_on`] and the job server so a job's slot `i` sees
+    /// exactly the stream worker `i` of a solo run would.
+    pub(crate) fn seeds(cfg: &Config, slots: usize) -> Vec<XorShift64> {
+        let mut seeder = XorShift64::new(cfg.seed);
+        (0..slots).map(|_| seeder.split()).collect()
+    }
 }
 
 /// Per-op timing probe. Compiled down to a constant `None` without the
@@ -284,7 +364,7 @@ struct SpineSlot<P: Problem> {
     live_entry: bool,
 }
 
-struct Worker<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> {
+pub(crate) struct Worker<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> {
     shared: &'s Shared<'p, P, D>,
     id: usize,
     stats: RunStats,
@@ -335,8 +415,22 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
     }
 
     #[inline]
-    fn problem(&self) -> &'p P {
-        self.shared.problem
+    fn problem(&self) -> &P {
+        self.shared.problem.get()
+    }
+
+    /// Whether this worker's job has been cancelled. Pruning is purely
+    /// cooperative: the node that observes the raised token delivers an
+    /// identity leaf instead of expanding, so the result-delivery chain
+    /// (and with it every waiting sync and the root cell) still completes
+    /// normally — cancellation never bypasses the deposit handshake or
+    /// the outstanding-children accounting.
+    #[inline]
+    fn cancelled(&self) -> bool {
+        match &self.shared.cancel {
+            Some(token) => token.get(),
+            None => false,
+        }
     }
 
     #[inline]
@@ -549,6 +643,12 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         parent: Parent<P>,
         regime: Regime,
     ) {
+        if self.cancelled() {
+            // Prune: deliver an identity leaf so the chain completes.
+            self.recycle(state);
+            deliver(&parent, P::Out::identity());
+            return;
+        }
         self.stats.nodes += 1;
         match self.problem().expand(&state, logical) {
             Expansion::Leaf(out) => {
@@ -604,7 +704,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
     /// "restores the program counter" — `inner.next` — and continues).
     fn frame_loop(&mut self, frame: Arc<Frame<P>>, regime: Regime) {
         loop {
-            let next = {
+            let next = if self.cancelled() {
+                // Cancellation poll: stop spawning; already-spawned
+                // children still deliver, completing the frame normally.
+                None
+            } else {
                 let mut g = frame.inner.lock();
                 if g.next >= g.choices.len() {
                     None
@@ -752,6 +856,10 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         parent: Parent<P>,
         regime: Regime,
     ) {
+        if self.cancelled() {
+            deliver(&parent, P::Out::identity());
+            return;
+        }
         self.stats.nodes += 1;
         match self.problem().expand(state, logical) {
             Expansion::Leaf(out) => deliver(&parent, out),
@@ -809,7 +917,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         });
         loop {
             self.service_ws(state);
-            let next = {
+            let next = if self.cancelled() {
+                // Cancellation poll, co-located with the copy-on-steal
+                // service point: no new spawns after the token is raised.
+                None
+            } else {
                 let mut g = frame.inner.lock();
                 if g.next >= g.choices.len() {
                     None
@@ -964,6 +1076,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         if self.cos() {
             self.service_ws(state);
         }
+        if self.cancelled() {
+            // One cancellation poll per sequence node, matching the
+            // copy-on-steal service cadence of the recursion.
+            return P::Out::identity();
+        }
         self.stats.fake_tasks += 1;
         tev!(self, Ev::FakeTask { depth: logical });
         let mut acc = P::Out::identity();
@@ -989,6 +1106,9 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
     /// workspace copy per child (the library cannot know the subtree is
     /// sequential, so taskprivate semantics force the copy).
     fn sequence_copy(&mut self, state: &P::State, logical: u32, choices: Vec<P::Choice>) -> P::Out {
+        if self.cancelled() {
+            return P::Out::identity();
+        }
         self.stats.fake_tasks += 1;
         tev!(self, Ev::FakeTask { depth: logical });
         let mut acc = P::Out::identity();
@@ -1014,6 +1134,10 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         if self.cos() {
             // The need_task poll is also the copy-on-steal service point.
             self.service_ws(state);
+        }
+        if self.cancelled() {
+            // The need_task poll doubles as the cancellation poll.
+            return P::Out::identity();
         }
         if fsm::after_poll(self.my_signal().needs_task()) == fsm::Version::Check {
             self.stats.fake_tasks += 1;
@@ -1083,6 +1207,12 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             0,
         );
         for c in choices {
+            if self.cancelled() {
+                // Stop spawning special children; the ones already in
+                // flight deliver into `special` and the sync below still
+                // resolves.
+                break;
+            }
             {
                 special.inner.lock().outstanding += 1;
             }
@@ -1217,7 +1347,16 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
     /// an empty deque is never re-probed on the immediately following
     /// attempt (a wasted probe that would also inflate the idle victim's
     /// `stolen_num`).
-    fn steal_loop(&mut self) {
+    ///
+    /// `abandon` is the job-server joiner hook: a worker that volunteered
+    /// into another job's free slot consults it after every *failed* round
+    /// and leaves the loop early when it returns `true` (e.g. new jobs are
+    /// queued). Abandoning between tasks is safe — at the loop head the
+    /// worker's own deque is empty and it holds no frames — and the job
+    /// does not depend on the deserter: the lead worker alone always
+    /// completes the job. One-shot runs pass `None` and exit only on root
+    /// completion.
+    fn steal_loop(&mut self, abandon: Option<&dyn Fn() -> bool>) {
         let n = self.shared.deques.len();
         if n == 1 {
             return;
@@ -1298,11 +1437,51 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                         std::thread::yield_now();
                     }
                     self.stats.steal_backoffs += 1;
+                    if let Some(quit) = abandon {
+                        if quit() {
+                            break;
+                        }
+                    }
                 }
             }
         }
         lap(&mut self.stats.time.steal_wait_ns, idle_since.take());
     }
+}
+
+/// One worker's whole participation in a run: execute the root task when
+/// `lead` (slot 0), then steal until the root completes (or `abandon`
+/// fires, see [`Worker::steal_loop`]). This is the body both [`run_on`]
+/// workers and `JobServer` participants execute — keeping them the same
+/// code path is what makes a single-slot server job bit-identical in
+/// counters to a solo single-thread run.
+pub(crate) fn participate<'s, 'p, P, E, D>(
+    shared: &'s Shared<'p, P, D>,
+    slot: usize,
+    rng: XorShift64,
+    tr: WorkerTracer<'s>,
+    lead: bool,
+    abandon: Option<&dyn Fn() -> bool>,
+) -> RunStats
+where
+    P: Problem,
+    E: DequeEntry<P>,
+    D: WsDeque<E>,
+{
+    let mut w = Worker::<P, E, D>::new(shared, slot, rng, tr);
+    if lead {
+        let root_state = shared.problem.get().root();
+        w.stats.tasks_created += 1; // the root task
+        tev!(w, Ev::Spawn { depth: 0 });
+        let parent = Parent::Cell(Arc::clone(&shared.root));
+        if shared.cos {
+            w.run_region(root_state, 0, 0, parent, Regime::Fast);
+        } else {
+            w.exec_node(root_state, 0, 0, parent, Regime::Fast);
+        }
+    }
+    w.steal_loop(abandon);
+    w.stats
 }
 
 /// Run `problem` under `mode` with the given configuration.
@@ -1386,34 +1565,8 @@ fn run_on<'a, P: Problem, E: DequeEntry<P>, D: WsDeque<E>>(
 ) -> Result<(P::Out, RunReport), adaptivetc_core::SchedulerError> {
     cfg.validate()?;
     let threads = cfg.threads;
-    // The Cilk baselines stay eager-copy regardless of the policy: their
-    // per-spawn copies are the very overhead the paper (and the ablation
-    // harness) measures against.
-    let cos = cfg.workspace == WorkspacePolicy::CopyOnSteal
-        && !matches!(mode, Mode::Cilk | Mode::CilkSynched);
-    let shared = Shared {
-        problem,
-        deques: (0..threads)
-            .map(|_| D::with_capacity(cfg.deque_capacity))
-            .collect(),
-        signals: (0..threads)
-            .map(|_| CachePadded::new(NeedTask::new(cfg.max_stolen_num)))
-            .collect(),
-        occupancy: (0..threads)
-            .map(|_| CachePadded::new(AtomicUsize::new(0)))
-            .collect(),
-        ws_hints: (0..threads)
-            .map(|_| CachePadded::new(AtomicBool::new(false)))
-            .collect(),
-        root: OutCell::new(),
-        mode,
-        cutoff: cfg.cutoff_depth().max(1),
-        victim: cfg.victim,
-        cos,
-        timing: cfg.timing,
-    };
-    let mut seeder = XorShift64::new(cfg.seed);
-    let seeds: Vec<XorShift64> = (0..threads).map(|_| seeder.split()).collect();
+    let shared = Shared::new::<E>(ProblemRef::Borrowed(problem), cfg, mode, threads, None);
+    let seeds = Shared::<P, D>::seeds(cfg, threads);
 
     let start = Instant::now();
     let per_worker = std::thread::scope(|s| {
@@ -1423,22 +1576,8 @@ fn run_on<'a, P: Problem, E: DequeEntry<P>, D: WsDeque<E>>(
             // Collapses to a unit binding when tracing is compiled out.
             #[cfg_attr(not(feature = "trace"), allow(clippy::let_unit_value))]
             let tr = worker_tracer(tracer, id);
-            handles.push(s.spawn(move || {
-                let mut w = Worker::<P, E, D>::new(shared, id, rng, tr);
-                if id == 0 {
-                    let root_state = shared.problem.root();
-                    w.stats.tasks_created += 1; // the root task
-                    tev!(w, Ev::Spawn { depth: 0 });
-                    let parent = Parent::Cell(Arc::clone(&shared.root));
-                    if shared.cos {
-                        w.run_region(root_state, 0, 0, parent, Regime::Fast);
-                    } else {
-                        w.exec_node(root_state, 0, 0, parent, Regime::Fast);
-                    }
-                }
-                w.steal_loop();
-                w.stats
-            }));
+            handles
+                .push(s.spawn(move || participate::<P, E, D>(shared, id, rng, tr, id == 0, None)));
         }
         handles
             .into_iter()

@@ -49,6 +49,8 @@ mod frame;
 pub mod fsm;
 pub mod par;
 pub mod pool;
+pub mod server;
+pub mod submit;
 pub(crate) mod sync;
 pub mod tascell;
 mod trace;
@@ -56,6 +58,11 @@ mod trace;
 #[cfg(feature = "trace")]
 pub use engine::run_traced;
 pub use engine::Mode;
+pub use server::{
+    JobHandle, JobOutcome, JobServer, RejectReason, ServerConfig, ServerReport, ServerStats,
+    SubmitError,
+};
+pub use submit::{CancelOutcome, JobStatus, Priority};
 
 use adaptivetc_core::{serial, Config, CutoffPolicy, Problem, RunReport, RunStats, SchedulerError};
 

@@ -38,7 +38,7 @@ impl<T, O, F> Problem for MapReduce<'_, T, O, F>
 where
     T: Sync,
     O: Reduce,
-    F: Fn(&T) -> O + Sync,
+    F: Fn(&T) -> O + Send + Sync,
 {
     type State = Range;
     type Choice = RangeSplit;
@@ -131,7 +131,7 @@ pub fn map_reduce<T, O, F>(
 where
     T: Sync,
     O: Reduce,
-    F: Fn(&T) -> O + Sync,
+    F: Fn(&T) -> O + Send + Sync,
 {
     let problem = MapReduce {
         items,

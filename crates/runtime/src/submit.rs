@@ -1,0 +1,560 @@
+//! The job-submission kernel: a bounded MPMC priority queue plus the job
+//! lifecycle state machine.
+//!
+//! This file is the model-checked core of the [`crate::server`] frontend.
+//! Like the deque protocol sources, it is `#[path]`-included by the
+//! `adaptivetc-check` crate, where its `crate::sync` imports resolve to the
+//! `shim-sync` model primitives instead of the real ones — so everything
+//! here must restrict itself to the facade subset the shim provides
+//! (`AtomicBool`/`AtomicU32`/`AtomicU64`, `Mutex`, `Ordering`; no
+//! `Condvar`, no `AtomicUsize`, no clocks, no OS threads). Parking,
+//! notification and timing live in `server.rs`, outside the kernel.
+//!
+//! # Submission queue
+//!
+//! [`SubmitQueue`] is a Vyukov-style bounded MPMC ring: each slot carries a
+//! sequence counter that encodes whose turn the slot is on (`seq == pos`:
+//! free for the producer of ticket `pos`; `seq == pos + 1`: holds that
+//! ticket's payload; `seq == pos + capacity`: recycled for the next lap).
+//! Producers and consumers claim tickets with a CAS on the `enq`/`deq`
+//! cursor and then publish through the slot's sequence counter, so a
+//! half-finished transfer is never observable: a submission is either not
+//! yet in the queue or claimable by exactly one consumer. The payload
+//! itself travels under a per-slot mutex rather than an `UnsafeCell` —
+//! submissions are rare relative to task operations, and the uncontended
+//! lock keeps the kernel free of `unsafe`.
+//!
+//! [`PrioQueue`] stacks three rings (one per [`Priority`]) and pops
+//! high-before-normal-before-low.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//!            claim (worker)            finish(cancelled=false)
+//!   Queued ────────────────► Running ─────────────────────────► Completed
+//!      │                        │
+//!      │ cancel (client)        │ finish(cancelled=true)
+//!      ▼                        ▼
+//!   Cancelled               Cancelled
+//! ```
+//!
+//! [`JobLifecycle`] owns the state word. The transitions are all CAS-based
+//! and partition the writers: a *worker* claims `Queued → Running`; a
+//! *client* cancels `Queued → Cancelled` (the job never runs); only the
+//! job's *lead worker* performs the `Running → {Completed, Cancelled}`
+//! terminal transition, folding in the [`CancelToken`] it observed at
+//! finish time. A cancel that arrives while the job runs therefore only
+//! raises the token — the poll points of the engine prune the remaining
+//! subtree — and the race against completion is resolved by the single
+//! terminal writer: exactly one terminal state, always.
+
+use crate::sync::{AtomicBool, AtomicU32, AtomicU64, Mutex, Ordering};
+use std::sync::Arc;
+
+/// Scheduling class of a submitted job. Workers drain submission lanes in
+/// declared order, so a `High` job is always claimed before a `Normal` one
+/// that is also ready (no aging: a flood of high-priority jobs starves
+/// lower lanes by design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Claimed before every other lane.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Claimed only when the other lanes are empty.
+    Low,
+}
+
+impl Priority {
+    /// All lanes, in claim order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Lane index (claim order).
+    #[inline]
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Observable state of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, not yet claimed by a worker.
+    Queued,
+    /// A lead worker is executing the job.
+    Running,
+    /// Terminal: ran to completion; a result is available.
+    Completed,
+    /// Terminal: cancelled before or during execution; no result.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the state is terminal (no further transitions).
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Completed | JobStatus::Cancelled)
+    }
+}
+
+const QUEUED: u32 = 0;
+const RUNNING: u32 = 1;
+const COMPLETED: u32 = 2;
+const CANCELLED: u32 = 3;
+
+fn decode(state: u32) -> JobStatus {
+    match state {
+        QUEUED => JobStatus::Queued,
+        RUNNING => JobStatus::Running,
+        COMPLETED => JobStatus::Completed,
+        _ => JobStatus::Cancelled,
+    }
+}
+
+/// What a cancellation request achieved (see [`JobLifecycle::cancel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued and will never run.
+    CancelledBeforeRun,
+    /// The job is running; the cancel token was raised and the engine's
+    /// poll points will prune the remaining work. Whether the terminal
+    /// state becomes `Cancelled` or `Completed` is decided by the lead
+    /// worker at finish time (the job may complete first).
+    Requested,
+    /// The job had already reached a terminal state; the request had no
+    /// effect.
+    AlreadyTerminal,
+}
+
+/// The cooperative cancellation flag a running job's workers poll.
+///
+/// Cheaply cloneable; one clone lives in the job handle, one inside the
+/// engine's shared state. Raising the token never blocks and carries no
+/// data — it only asks the engine's poll points to prune, so the relaxed
+/// read on the hot path is enough (the flag is monotone and eventually
+/// visible).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+// Manual impl: the shim `AtomicBool` this file compiles against in
+// `adaptivetc-check` does not implement `Default`.
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unraised token.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Raise the token (idempotent).
+    #[inline]
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been raised. Relaxed: pruning is a monotone
+    /// hint, not a synchronization edge.
+    #[inline]
+    pub fn get(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The job state word and its CAS transitions (see the module docs for the
+/// full diagram and the writer partition argument).
+#[derive(Debug)]
+pub struct JobLifecycle {
+    state: AtomicU32,
+}
+
+impl Default for JobLifecycle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobLifecycle {
+    /// A job in the `Queued` state.
+    pub fn new() -> Self {
+        JobLifecycle {
+            state: AtomicU32::new(QUEUED),
+        }
+    }
+
+    /// Current state. Acquire: a terminal observation must also see the
+    /// result the finishing worker published before the transition.
+    #[inline]
+    pub fn status(&self) -> JobStatus {
+        decode(self.state.load(Ordering::Acquire))
+    }
+
+    /// Worker side: claim the job for execution (`Queued → Running`).
+    /// `false` means a client cancelled the job first — it must not run.
+    /// Acquire on failure orders the loser after the cancel.
+    pub fn claim(&self) -> bool {
+        self.state
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Lead-worker side: enter the terminal state (`Running → Completed`
+    /// or `Running → Cancelled`, per the cancel token observed at finish).
+    /// Returns `false` if the job was not `Running` — which the writer
+    /// partition rules out for the lead, so callers treat it as a logic
+    /// error.
+    pub fn finish(&self, cancelled: bool) -> bool {
+        let terminal = if cancelled { CANCELLED } else { COMPLETED };
+        self.state
+            .compare_exchange(RUNNING, terminal, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Client side: request cancellation. Queued jobs transition directly
+    /// to `Cancelled` (they will never run); running jobs get `token`
+    /// raised and keep their state until the lead worker's [`finish`]
+    /// resolves the race — exactly one terminal state either way.
+    ///
+    /// [`finish`]: JobLifecycle::finish
+    pub fn cancel(&self, token: &CancelToken) -> CancelOutcome {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                QUEUED => {
+                    if self
+                        .state
+                        .compare_exchange(QUEUED, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        token.set();
+                        return CancelOutcome::CancelledBeforeRun;
+                    }
+                    // Lost to a claim or a concurrent cancel; re-read.
+                }
+                RUNNING => {
+                    token.set();
+                    return CancelOutcome::Requested;
+                }
+                _ => return CancelOutcome::AlreadyTerminal,
+            }
+        }
+    }
+}
+
+/// One slot of the Vyukov ring: the turn counter plus the payload cell.
+struct Slot<T> {
+    /// `pos` (free for producer `pos`), `pos + 1` (full, for consumer
+    /// `pos`), or `pos + capacity` (recycled for the next lap).
+    seq: AtomicU64,
+    item: Mutex<Option<T>>,
+}
+
+/// A bounded multi-producer multi-consumer FIFO ring (Vyukov's algorithm,
+/// with mutexed payload cells — see the module docs).
+pub struct SubmitQueue<T> {
+    slots: Box<[Slot<T>]>,
+    enq: AtomicU64,
+    deq: AtomicU64,
+}
+
+impl<T> SubmitQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// `capacity` is clamped to at least 2: with a single slot the "full
+    /// for consumer of ticket 0" and "recycled for producer of ticket 1"
+    /// sequence values coincide (`seq == 1` both ways), so a second push
+    /// would overwrite the first payload instead of reporting full.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        SubmitQueue {
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicU64::new(i as u64),
+                    item: Mutex::new(None),
+                })
+                .collect(),
+            enq: AtomicU64::new(0),
+            deq: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate occupancy (torn cursor pairs are acceptable: the value
+    /// is advisory, for `ServerStats` and parking heuristics).
+    pub fn len(&self) -> usize {
+        let enq = self.enq.load(Ordering::Relaxed);
+        let deq = self.deq.load(Ordering::Relaxed);
+        enq.saturating_sub(deq) as usize
+    }
+
+    /// Whether the queue currently appears empty (advisory, as [`len`]).
+    ///
+    /// [`len`]: SubmitQueue::len
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue `value`, or give it back if the queue is full. A `Full`
+    /// verdict is conservative: a consumer that has claimed a ticket but
+    /// not yet recycled the slot makes the queue momentarily report full
+    /// one lap early — acceptable for admission control.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let cap = self.slots.len() as u64;
+        loop {
+            // Relaxed cursor read: the slot's Acquire sequence load below
+            // is what orders this producer against the slot's last user.
+            let pos = self.enq.load(Ordering::Relaxed);
+            let slot = &self.slots[(pos % cap) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Our turn; claim the ticket. Relaxed: the ticket CAS only
+                // arbitrates producers — the payload is published by the
+                // Release sequence store below, not by the cursor.
+                if self
+                    .enq
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    *slot.item.lock() = Some(value);
+                    // Release: publishes the payload to the consumer's
+                    // Acquire sequence load.
+                    slot.seq.store(pos + 1, Ordering::Release);
+                    return Ok(());
+                }
+            } else if seq < pos {
+                // The slot still holds last lap's payload: full.
+                return Err(value);
+            }
+            // seq > pos: another producer advanced the cursor; retry.
+        }
+    }
+
+    /// Dequeue the oldest item, or `None` if the queue is empty (possibly
+    /// transiently: a producer that has claimed a ticket but not yet
+    /// published makes its item invisible until the publish lands).
+    pub fn try_pop(&self) -> Option<T> {
+        let cap = self.slots.len() as u64;
+        loop {
+            let pos = self.deq.load(Ordering::Relaxed);
+            let slot = &self.slots[(pos % cap) as usize];
+            // Acquire: pairs with the producer's Release publish, making
+            // the payload write visible before the take below.
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                // Relaxed ticket CAS, as in `try_push`.
+                if self
+                    .deq
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    let value = slot.item.lock().take();
+                    debug_assert!(value.is_some(), "claimed ticket found an empty slot");
+                    // Release: recycles the slot for the producer one lap
+                    // ahead, ordering our take before its store.
+                    slot.seq.store(pos + cap, Ordering::Release);
+                    return value;
+                }
+            } else if seq <= pos {
+                return None;
+            }
+            // seq > pos + 1: another consumer advanced the cursor; retry.
+        }
+    }
+}
+
+/// Three [`SubmitQueue`] lanes popped in [`Priority`] order.
+pub struct PrioQueue<T> {
+    lanes: [SubmitQueue<T>; 3],
+}
+
+impl<T> PrioQueue<T> {
+    /// Build with `capacity` slots **per lane**.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PrioQueue {
+            lanes: [
+                SubmitQueue::with_capacity(capacity),
+                SubmitQueue::with_capacity(capacity),
+                SubmitQueue::with_capacity(capacity),
+            ],
+        }
+    }
+
+    /// Enqueue into the lane for `priority`; gives the value back when
+    /// that lane is full.
+    pub fn try_push(&self, priority: Priority, value: T) -> Result<(), T> {
+        self.lanes[priority.lane()].try_push(value)
+    }
+
+    /// Dequeue from the highest-priority non-empty lane.
+    pub fn try_pop(&self) -> Option<(Priority, T)> {
+        for p in Priority::ALL {
+            if let Some(v) = self.lanes[p.lane()].try_pop() {
+                return Some((p, v));
+            }
+        }
+        None
+    }
+
+    /// Approximate total occupancy across lanes (advisory).
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(SubmitQueue::len).sum()
+    }
+
+    /// Whether every lane currently appears empty (advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo_within_a_lane() {
+        let q = SubmitQueue::with_capacity(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(99), Err(99), "full queue must reject");
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+        // Wrap around a second lap.
+        q.try_push(10).unwrap();
+        assert_eq!(q.try_pop(), Some(10));
+    }
+
+    #[test]
+    fn one_slot_request_is_clamped_to_two() {
+        // A true one-slot ring would let a second push overwrite the
+        // first payload (see `with_capacity`); the clamp keeps FIFO.
+        let q = SubmitQueue::with_capacity(1);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3), "clamped ring still bounds");
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn priority_lanes_pop_high_first() {
+        let q = PrioQueue::with_capacity(2);
+        q.try_push(Priority::Low, 3).unwrap();
+        q.try_push(Priority::Normal, 2).unwrap();
+        q.try_push(Priority::High, 1).unwrap();
+        assert_eq!(q.try_pop(), Some((Priority::High, 1)));
+        assert_eq!(q.try_pop(), Some((Priority::Normal, 2)));
+        assert_eq!(q.try_pop(), Some((Priority::Low, 3)));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn lifecycle_claim_then_finish() {
+        let l = JobLifecycle::new();
+        assert_eq!(l.status(), JobStatus::Queued);
+        assert!(l.claim());
+        assert!(!l.claim(), "double claim must fail");
+        assert_eq!(l.status(), JobStatus::Running);
+        assert!(l.finish(false));
+        assert_eq!(l.status(), JobStatus::Completed);
+        assert!(!l.finish(true), "terminal states are final");
+    }
+
+    #[test]
+    fn cancel_before_claim_wins() {
+        let l = JobLifecycle::new();
+        let t = CancelToken::new();
+        assert_eq!(l.cancel(&t), CancelOutcome::CancelledBeforeRun);
+        assert!(t.get());
+        assert!(!l.claim(), "a cancelled job must not run");
+        assert_eq!(l.status(), JobStatus::Cancelled);
+        assert_eq!(l.cancel(&t), CancelOutcome::AlreadyTerminal);
+    }
+
+    #[test]
+    fn cancel_while_running_raises_the_token() {
+        let l = JobLifecycle::new();
+        let t = CancelToken::new();
+        assert!(l.claim());
+        assert_eq!(l.cancel(&t), CancelOutcome::Requested);
+        assert!(t.get());
+        assert_eq!(
+            l.status(),
+            JobStatus::Running,
+            "state unchanged until finish"
+        );
+        assert!(l.finish(t.get()));
+        assert_eq!(l.status(), JobStatus::Cancelled);
+    }
+
+    #[test]
+    fn queue_many_producers_consumers_native() {
+        // Native smoke over the MPMC ring; the exhaustive interleaving
+        // coverage lives in adaptivetc-check's jobserver_submit suite.
+        let q = std::sync::Arc::new(SubmitQueue::with_capacity(8));
+        let mut produced = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..4u32 {
+                let q = std::sync::Arc::clone(&q);
+                handles.push(s.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..100u32 {
+                        let v = t * 1000 + i;
+                        let mut item = v;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(back) => item = back,
+                            }
+                            if let Some(x) = q.try_pop() {
+                                got.push(x);
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            for h in handles {
+                produced.extend(h.join().unwrap());
+            }
+        });
+        while let Some(x) = q.try_pop() {
+            produced.push(x);
+        }
+        produced.sort_unstable();
+        let mut expected: Vec<u32> = (0..4u32)
+            .flat_map(|t| (0..100u32).map(move |i| t * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(produced, expected, "every push popped exactly once");
+    }
+}

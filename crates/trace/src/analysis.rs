@@ -89,6 +89,9 @@ impl TraceCounts {
                 EventKind::CopySaved => c.copies_saved += 1,
                 EventKind::SyncSuspend => c.suspends += 1,
                 EventKind::SyncResume => c.resumes += 1,
+                // Job markers delimit epochs; they mirror no RunStats
+                // counter, so the tally ignores them.
+                EventKind::JobBegin { .. } | EventKind::JobEnd { .. } => {}
             }
         }
         c

@@ -183,6 +183,22 @@ pub enum EventKind {
     SyncSuspend,
     /// The suspended sync resumed (all children delivered).
     SyncResume,
+    /// A job-server worker started participating in job `job` at job slot
+    /// `slot`. All events this worker emits until the matching
+    /// [`EventKind::JobEnd`] belong to that job's run-epoch; one-shot runs
+    /// never emit it. See [`crate::Trace::split_jobs`].
+    JobBegin {
+        /// The server-assigned job id.
+        job: u32,
+        /// The job-local worker slot this pool worker filled.
+        slot: u16,
+    },
+    /// The worker stopped participating in job `job` (completion,
+    /// cancellation, or a joiner abandoning an idle steal loop).
+    JobEnd {
+        /// The server-assigned job id.
+        job: u32,
+    },
 }
 
 /// Event codes of the compact binary encoding, one per [`EventKind`]
@@ -213,6 +229,8 @@ pub enum Code {
     SyncSuspend = 19,
     SyncResume = 20,
     StealDup = 21,
+    JobBegin = 22,
+    JobEnd = 23,
 }
 
 /// The 16-byte wire format: one timestamp, one code, two small arguments.
@@ -278,6 +296,8 @@ impl RawEvent {
             EventKind::CopySaved => (Code::CopySaved, 0, 0, 0),
             EventKind::SyncSuspend => (Code::SyncSuspend, 0, 0, 0),
             EventKind::SyncResume => (Code::SyncResume, 0, 0, 0),
+            EventKind::JobBegin { job, slot } => (Code::JobBegin, 0, slot, job),
+            EventKind::JobEnd { job } => (Code::JobEnd, 0, 0, job),
         };
         RawEvent {
             ts,
@@ -328,6 +348,11 @@ impl RawEvent {
             18 => EventKind::CopySaved,
             19 => EventKind::SyncSuspend,
             20 => EventKind::SyncResume,
+            22 => EventKind::JobBegin {
+                job: self.c,
+                slot: self.b,
+            },
+            23 => EventKind::JobEnd { job: self.c },
             _ => EventKind::StealDup {
                 victim: self.b as u32,
             },
@@ -370,6 +395,8 @@ impl EventKind {
             EventKind::CopySaved => "copy_saved",
             EventKind::SyncSuspend => "sync_suspend",
             EventKind::SyncResume => "sync_resume",
+            EventKind::JobBegin { .. } => "job_begin",
+            EventKind::JobEnd { .. } => "job_end",
         }
     }
 }
@@ -402,6 +429,11 @@ mod tests {
             EventKind::CopySaved,
             EventKind::SyncSuspend,
             EventKind::SyncResume,
+            EventKind::JobBegin {
+                job: 17,
+                slot: 65535,
+            },
+            EventKind::JobEnd { job: u32::MAX },
         ];
         for from in FsmState::ALL {
             for to in FsmState::ALL {
@@ -450,8 +482,8 @@ mod tests {
         let mut names: Vec<_> = all_kinds().iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        // 21 non-FSM variants + the single "fsm" name.
-        assert_eq!(names.len(), 22);
+        // 23 non-FSM variants + the single "fsm" name.
+        assert_eq!(names.len(), 24);
         let mut state_names: Vec<_> = FsmState::ALL.iter().map(|s| s.name()).collect();
         state_names.sort_unstable();
         state_names.dedup();

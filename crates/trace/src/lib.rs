@@ -35,6 +35,7 @@ pub mod clock;
 pub mod collector;
 pub mod diff;
 pub mod event;
+pub mod jobs;
 pub mod ring;
 pub(crate) mod sync;
 pub mod validate;
@@ -47,4 +48,5 @@ pub use clock::TraceClock;
 pub use collector::{Trace, TraceCollector, WorkerHandle, WorkerTrace};
 pub use diff::TraceDiff;
 pub use event::{legal_fsm_edge, Event, EventKind, FsmState, RawEvent};
+pub use jobs::{validate_concurrent, JobMismatch};
 pub use validate::{assert_valid, validate, Mismatch};
