@@ -211,6 +211,21 @@ pub struct Config {
     /// Per-worker event-ring capacity (events, rounded up to a power of
     /// two). Full rings drop their oldest events and count the loss.
     pub trace_capacity: usize,
+    /// Category bitmask selecting which event categories are recorded
+    /// (bit layout defined by `adaptivetc_trace::Category`; this is a
+    /// raw `u64` so the core crate carries no trace dependency). The
+    /// default records everything; the collector additionally clamps to
+    /// the categories compiled into the build and always keeps
+    /// job-epoch markers.
+    pub trace_filter: u64,
+    /// Record only 1 in N events of the high-frequency categories (deque
+    /// traffic, fake tasks, spawns). The default of 16 keeps traced-on
+    /// overhead in low single digits (production flight-recorder mode);
+    /// set `1` to record everything — required when a consumer needs
+    /// exhaustive streams, e.g. the trace-vs-sim diff. `RunStats` keeps
+    /// exact counts regardless, so the trace/stats differential stays
+    /// meaningful — sampled categories are checked as bounds.
+    pub trace_sample: u32,
 }
 
 impl Config {
@@ -228,6 +243,8 @@ impl Config {
             timing: false,
             trace: false,
             trace_capacity: 1 << 16,
+            trace_filter: u64::MAX,
+            trace_sample: 16,
         }
     }
 
@@ -291,6 +308,18 @@ impl Config {
         self
     }
 
+    /// Set the trace category filter mask.
+    pub fn trace_filter(mut self, mask: u64) -> Self {
+        self.trace_filter = mask;
+        self
+    }
+
+    /// Set the 1-in-N sampling rate for high-frequency trace categories.
+    pub fn trace_sample(mut self, n: u32) -> Self {
+        self.trace_sample = n;
+        self
+    }
+
     /// The resolved cut-off depth for this configuration.
     pub fn cutoff_depth(&self) -> u32 {
         self.cutoff.depth_for(self.threads)
@@ -302,7 +331,7 @@ impl Config {
     ///
     /// Returns [`ConfigError`] if `threads == 0`, `deque_capacity < 2`,
     /// `max_stolen_num == 0`, or tracing is enabled with
-    /// `trace_capacity < 16`.
+    /// `trace_capacity < 16` or `trace_sample == 0`.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
@@ -315,6 +344,9 @@ impl Config {
         }
         if self.trace && self.trace_capacity < 16 {
             return Err(ConfigError::TraceCapacityTooSmall(self.trace_capacity));
+        }
+        if self.trace && self.trace_sample == 0 {
+            return Err(ConfigError::ZeroTraceSample);
         }
         Ok(())
     }
@@ -374,7 +406,9 @@ mod tests {
             .seed(77)
             .timing(true)
             .trace(true)
-            .trace_capacity(1 << 10);
+            .trace_capacity(1 << 10)
+            .trace_filter(0b1010)
+            .trace_sample(8);
         assert_eq!(cfg.cutoff_depth(), 9);
         assert_eq!(cfg.max_stolen_num, 3);
         assert_eq!(cfg.deque_capacity, 64);
@@ -385,7 +419,25 @@ mod tests {
         assert!(cfg.timing);
         assert!(cfg.trace);
         assert_eq!(cfg.trace_capacity, 1 << 10);
+        assert_eq!(cfg.trace_filter, 0b1010);
+        assert_eq!(cfg.trace_sample, 8);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_trace_sample_only_when_tracing() {
+        assert!(Config::new(1).trace_sample(0).validate().is_ok());
+        let err = Config::new(1)
+            .trace(true)
+            .trace_sample(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, crate::ConfigError::ZeroTraceSample);
+        // The defaults record every category, hot ones sampled 1-in-16
+        // (flight-recorder mode); exhaustive recording is opt-in.
+        let cfg = Config::new(1);
+        assert_eq!(cfg.trace_filter, u64::MAX);
+        assert_eq!(cfg.trace_sample, 16);
     }
 
     #[test]

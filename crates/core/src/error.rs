@@ -16,6 +16,9 @@ pub enum ConfigError {
     /// Tracing was enabled with a `trace_capacity` below the ring minimum
     /// of 16 (stores the given value).
     TraceCapacityTooSmall(usize),
+    /// Tracing was enabled with `trace_sample == 0` (1 records every
+    /// event; 0 would record none and make the differential vacuous).
+    ZeroTraceSample,
 }
 
 impl fmt::Display for ConfigError {
@@ -28,6 +31,12 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroMaxStolen => write!(f, "max_stolen_num must be nonzero"),
             ConfigError::TraceCapacityTooSmall(n) => {
                 write!(f, "trace ring capacity {n} is below the minimum of 16")
+            }
+            ConfigError::ZeroTraceSample => {
+                write!(
+                    f,
+                    "trace sampling rate must be nonzero (1 records everything)"
+                )
             }
         }
     }

@@ -585,7 +585,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                 self.stats.deque_pushes += 1;
                 self.stats.deque_peak = self.stats.deque_peak.max(self.my_deque().len() as u64);
                 self.publish_occupancy();
-                tev!(self, if special { Ev::SpecialPush } else { Ev::Push });
+                tev!(
+                    self,
+                    Deque,
+                    if special { Ev::SpecialPush } else { Ev::Push }
+                );
                 true
             }
             Err(_) => {
@@ -614,10 +618,10 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         self.publish_occupancy();
         if claimed {
             self.stats.deque_pops += 1;
-            tev!(self, Ev::Pop);
+            tev!(self, Deque, Ev::Pop);
         } else {
             self.stats.pop_conflicts += 1;
-            tev!(self, Ev::PopConflict);
+            tev!(self, Deque, Ev::PopConflict);
         }
         claimed
     }
@@ -669,6 +673,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                         (Mode::Adaptive, Regime::Fast) => {
                             tev!(
                                 self,
+                                Fsm,
                                 Ev::Fsm {
                                     from: Fs::Fast,
                                     to: Fs::Check,
@@ -680,6 +685,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                         (Mode::Adaptive, Regime::Fast2) => {
                             tev!(
                                 self,
+                                Fsm,
                                 Ev::Fsm {
                                     from: Fs::Fast2,
                                     to: Fs::Sequence,
@@ -739,6 +745,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             self.stats.tasks_created += 1;
             tev!(
                 self,
+                Spawn,
                 Ev::Spawn {
                     depth: frame.depth + 1
                 }
@@ -782,7 +789,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             if slot.frame.ws_requested.load(Ordering::Acquire) {
                 let snap = self.materialise(live, slot.mark);
                 slot.frame.deposit_ws(snap);
-                tev!(self, Ev::WsDeposit);
+                tev!(self, Workspace, Ev::WsDeposit);
             }
         }
         self.spine = spine;
@@ -813,7 +820,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             if slot.live_entry && !slot.frame.ws_ready.load(Ordering::Acquire) {
                 let snap = self.materialise(live, slot.mark);
                 slot.frame.deposit_ws(snap);
-                tev!(self, Ev::WsDeposit);
+                tev!(self, Workspace, Ev::WsDeposit);
             }
         }
         self.spine = spine;
@@ -874,6 +881,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                         (Mode::Adaptive, Regime::Fast) => {
                             tev!(
                                 self,
+                                Fsm,
                                 Ev::Fsm {
                                     from: Fs::Fast,
                                     to: Fs::Check,
@@ -885,6 +893,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                         (Mode::Adaptive, Regime::Fast2) => {
                             tev!(
                                 self,
+                                Fsm,
                                 Ev::Fsm {
                                     from: Fs::Fast2,
                                     to: Fs::Sequence,
@@ -941,13 +950,14 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             self.stats.tasks_created += 1;
             tev!(
                 self,
+                Spawn,
                 Ev::Spawn {
                     depth: frame.depth + 1
                 }
             );
             // The spawn that eager copying would have paid a clone for.
             self.stats.workspace_copies_saved += 1;
-            tev!(self, Ev::CopySaved);
+            tev!(self, Workspace, Ev::CopySaved);
             let pushed = stealable && self.push_entry(&frame, false);
             if let Some(slot) = self.spine.last_mut() {
                 slot.live_entry = pushed;
@@ -974,7 +984,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                     if !frame.ws_ready.load(Ordering::Acquire) {
                         let snap = self.clone_state(state);
                         frame.deposit_ws(snap);
-                        tev!(self, Ev::WsDeposit);
+                        tev!(self, Workspace, Ev::WsDeposit);
                     }
                     self.spine.pop();
                     return;
@@ -998,6 +1008,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
     fn run_stolen(&mut self, frame: Arc<Frame<P>>) {
         tev!(
             self,
+            Fsm,
             Ev::Fsm {
                 from: Fs::Idle,
                 to: Fs::Slow,
@@ -1008,6 +1019,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             self.frame_loop(frame, Regime::Fast);
             tev!(
                 self,
+                Fsm,
                 Ev::Fsm {
                     from: Fs::Slow,
                     to: Fs::Idle,
@@ -1026,6 +1038,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                 self.shared.ws_hints[owner].store(true, Ordering::Release);
                 tev!(
                     self,
+                    Workspace,
                     Ev::WsRequest {
                         owner: owner as u32
                     }
@@ -1046,7 +1059,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                 }
             }
         };
-        tev!(self, Ev::WsTake);
+        tev!(self, Workspace, Ev::WsTake);
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             frame.generation.load(Ordering::Acquire),
@@ -1061,6 +1074,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         self.recycle(ws);
         tev!(
             self,
+            Fsm,
             Ev::Fsm {
                 from: Fs::Slow,
                 to: Fs::Idle,
@@ -1082,7 +1096,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             return P::Out::identity();
         }
         self.stats.fake_tasks += 1;
-        tev!(self, Ev::FakeTask { depth: logical });
+        tev!(self, Fake, Ev::FakeTask { depth: logical });
         let mut acc = P::Out::identity();
         for c in choices {
             self.problem().apply(state, c);
@@ -1110,7 +1124,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             return P::Out::identity();
         }
         self.stats.fake_tasks += 1;
-        tev!(self, Ev::FakeTask { depth: logical });
+        tev!(self, Fake, Ev::FakeTask { depth: logical });
         let mut acc = P::Out::identity();
         for c in choices {
             let mut child = self.clone_state(state);
@@ -1141,7 +1155,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         }
         if fsm::after_poll(self.my_signal().needs_task()) == fsm::Version::Check {
             self.stats.fake_tasks += 1;
-            tev!(self, Ev::FakeTask { depth: logical });
+            tev!(self, Fake, Ev::FakeTask { depth: logical });
             let mut acc = P::Out::identity();
             for c in choices {
                 self.problem().apply(state, c);
@@ -1162,6 +1176,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         } else {
             tev!(
                 self,
+                Fsm,
                 Ev::Fsm {
                     from: Fs::Check,
                     to: Fs::Special,
@@ -1182,9 +1197,9 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         choices: Vec<P::Choice>,
     ) -> P::Out {
         self.stats.special_tasks += 1;
-        tev!(self, Ev::SpecialBegin { depth: logical });
+        tev!(self, Special, Ev::SpecialBegin { depth: logical });
         self.my_signal().acknowledge();
-        tev!(self, Ev::NeedTaskAck);
+        tev!(self, Signal, Ev::NeedTaskAck);
         if self.cos() {
             self.seal_region(state);
         }
@@ -1192,6 +1207,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         // as tasks again in fast_2 with the cut-off doubled and depth 0.
         tev!(
             self,
+            Fsm,
             Ev::Fsm {
                 from: Fs::Special,
                 to: Fs::Fast2,
@@ -1223,7 +1239,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             let mut child = self.clone_state(state);
             self.problem().apply(&mut child, c);
             self.stats.tasks_created += 1;
-            tev!(self, Ev::Spawn { depth: 0 });
+            tev!(self, Spawn, Ev::Spawn { depth: 0 });
             let pushed = self.push_entry(&special, true);
             let parent = Parent::Frame(Arc::clone(&special));
             if self.cos() {
@@ -1235,11 +1251,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                 match self.my_deque().pop_special() {
                     PopSpecial::Reclaimed(_) => {
                         self.stats.deque_pops += 1;
-                        tev!(self, Ev::SpecialConsume { reclaimed: true });
+                        tev!(self, Deque, Ev::SpecialConsume { reclaimed: true });
                     }
                     PopSpecial::ChildStolen => {
                         self.stats.pop_conflicts += 1;
-                        tev!(self, Ev::SpecialConsume { reclaimed: false });
+                        tev!(self, Deque, Ev::SpecialConsume { reclaimed: false });
                     }
                 }
                 self.publish_occupancy();
@@ -1249,11 +1265,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         // every child to deliver before resuming the fake task.
         if let Some(out) = special.finish_continuation() {
             self.retire_frame(special);
-            tev!(self, Ev::SpecialEnd);
+            tev!(self, Special, Ev::SpecialEnd);
             return out;
         }
         self.stats.suspensions += 1;
-        tev!(self, Ev::SyncSuspend);
+        tev!(self, Sync, Ev::SyncSuspend);
         let t0 = now_if(self.shared.timing);
         let out = if self.cos() {
             // Keep servicing workspace requests while blocked: a thief that
@@ -1269,11 +1285,11 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             waiter.wait()
         };
         lap(&mut self.stats.time.wait_children_ns, t0);
-        tev!(self, Ev::SyncResume);
+        tev!(self, Sync, Ev::SyncResume);
         // The last child completed the frame; if its thief has unwound
         // already, the shell is unique again and can be pooled.
         self.retire_frame(special);
-        tev!(self, Ev::SpecialEnd);
+        tev!(self, Special, Ev::SpecialEnd);
         out
     }
 
@@ -1369,6 +1385,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             let victim = self.pick_victim(n, last_victim, last_empty);
             tev!(
                 self,
+                Steal,
                 Ev::StealAttempt {
                     victim: victim as u32,
                 }
@@ -1384,6 +1401,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                         self.stats.dup_extractions += 1;
                         tev!(
                             self,
+                            Steal,
                             Ev::StealDup {
                                 victim: victim as u32
                             }
@@ -1394,6 +1412,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                     self.stats.steals_ok += 1;
                     tev!(
                         self,
+                        Steal,
                         Ev::StealOk {
                             victim: victim as u32
                         }
@@ -1412,6 +1431,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                     if raised {
                         tev!(
                             self,
+                            Signal,
                             Ev::NeedTaskSignal {
                                 victim: victim as u32,
                             }
@@ -1420,6 +1440,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                     self.stats.steals_failed += 1;
                     tev!(
                         self,
+                        Steal,
                         Ev::StealEmpty {
                             victim: victim as u32
                         }
@@ -1472,7 +1493,7 @@ where
     if lead {
         let root_state = shared.problem.get().root();
         w.stats.tasks_created += 1; // the root task
-        tev!(w, Ev::Spawn { depth: 0 });
+        tev!(w, Spawn, Ev::Spawn { depth: 0 });
         let parent = Parent::Cell(Arc::clone(&shared.root));
         if shared.cos {
             w.run_region(root_state, 0, 0, parent, Regime::Fast);
@@ -1523,9 +1544,14 @@ pub fn run_traced<P: Problem>(
     mode: Mode,
 ) -> Result<(P::Out, RunReport, Option<adaptivetc_trace::Trace>), adaptivetc_core::SchedulerError> {
     cfg.validate()?;
-    let collector = cfg
-        .trace
-        .then(|| adaptivetc_trace::TraceCollector::new(cfg.threads, cfg.trace_capacity));
+    let collector = cfg.trace.then(|| {
+        adaptivetc_trace::TraceCollector::with_options(
+            cfg.threads,
+            cfg.trace_capacity,
+            cfg.trace_filter,
+            cfg.trace_sample,
+        )
+    });
     let (out, report) = dispatch(problem, cfg, mode, collector.as_ref())?;
     Ok((out, report, collector.map(|c| c.finish())))
 }

@@ -104,6 +104,14 @@ pub struct ServerConfig {
     pub trace: bool,
     /// Per-worker trace ring capacity when `trace` is set.
     pub trace_capacity: usize,
+    /// Category bitmask for the pool trace (see
+    /// `adaptivetc_trace::Category`); the job-bracket category is always
+    /// kept on so traces stay splittable per job.
+    pub trace_filter: u64,
+    /// Record 1 in `n` events for the highest-frequency categories
+    /// (default 16, the production flight-recorder rate; `1` = record
+    /// everything; see `Config::trace_sample`).
+    pub trace_sample: u32,
 }
 
 impl ServerConfig {
@@ -116,6 +124,8 @@ impl ServerConfig {
             work_sharing: false,
             trace: false,
             trace_capacity: 1 << 14,
+            trace_filter: u64::MAX,
+            trace_sample: 16,
         }
     }
 
@@ -134,6 +144,18 @@ impl ServerConfig {
     /// Builder-style setter for [`ServerConfig::trace`].
     pub fn trace(mut self, on: bool) -> ServerConfig {
         self.trace = on;
+        self
+    }
+
+    /// Builder-style setter for [`ServerConfig::trace_filter`].
+    pub fn trace_filter(mut self, mask: u64) -> ServerConfig {
+        self.trace_filter = mask;
+        self
+    }
+
+    /// Builder-style setter for [`ServerConfig::trace_sample`].
+    pub fn trace_sample(mut self, n: u32) -> ServerConfig {
+        self.trace_sample = n;
         self
     }
 }
@@ -540,15 +562,17 @@ fn run_job<P, E, D>(
     let out = job.eng.root.wait();
     let cancelled = shared.cancel.get();
     shared.lifecycle.finish(cancelled);
+    // Count before publishing: `publish` releases the waiter, and callers
+    // reasonably expect `stats()` to reflect a job whose `wait()` returned.
     if cancelled {
         drop(out);
+        ctx.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
         shared.publish(JobOutcome::Cancelled {
             report: Some(report),
         });
-        ctx.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     } else {
-        shared.publish(JobOutcome::Completed { out, report });
         ctx.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        shared.publish(JobOutcome::Completed { out, report });
     }
 }
 
@@ -642,9 +666,11 @@ impl JobServer {
         });
         #[cfg(feature = "trace")]
         let collector: SharedCollector = cfg.trace.then(|| {
-            Arc::new(adaptivetc_trace::TraceCollector::new(
+            Arc::new(adaptivetc_trace::TraceCollector::with_options(
                 workers,
                 cfg.trace_capacity,
+                cfg.trace_filter,
+                cfg.trace_sample,
             ))
         });
         #[cfg(not(feature = "trace"))]

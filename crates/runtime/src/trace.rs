@@ -26,17 +26,26 @@ pub(crate) fn worker_tracer(tracer: TracerRef<'_>, id: usize) -> WorkerTracer<'_
 #[cfg(not(feature = "trace"))]
 pub(crate) fn worker_tracer(_tracer: TracerRef<'_>, _id: usize) -> WorkerTracer<'_> {}
 
-/// Emit a trace event from a [`Worker`](crate::engine): `tev!(self, <expr>)`
-/// where `<expr>` evaluates to an `adaptivetc_trace::EventKind` (the
-/// engine imports it as `Ev`). Expands to nothing when the `trace` feature
-/// is off — the expression tokens are removed before name resolution, so
-/// they may freely reference trace-only types.
+/// Emit a trace event from a [`Worker`](crate::engine):
+/// `tev!(self, <Category>, <expr>)` where `<Category>` is a bare
+/// `adaptivetc_trace::Category` variant name and `<expr>` evaluates to an
+/// `adaptivetc_trace::EventKind` (the engine imports it as `Ev`).
+///
+/// The category is named statically at the call site so the filter check
+/// (`WorkerHandle::enabled`, one relaxed load against the run's category
+/// mask) happens **before** the event expression is evaluated — a masked
+/// category costs the load and a predicted branch, nothing else. Expands
+/// to nothing when the `trace` feature is off — the expression tokens are
+/// removed before name resolution, so they may freely reference
+/// trace-only types.
 macro_rules! tev {
-    ($worker:expr, $kind:expr) => {
+    ($worker:expr, $cat:ident, $kind:expr) => {
         #[cfg(feature = "trace")]
         {
             if let Some(h) = $worker.tr.as_ref() {
-                h.emit($kind);
+                if h.enabled(adaptivetc_trace::Category::$cat) {
+                    h.emit_in(adaptivetc_trace::Category::$cat, $kind);
+                }
             }
         }
     };

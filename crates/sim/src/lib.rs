@@ -97,8 +97,16 @@ pub fn simulate_traced(
     cost: CostModel,
 ) -> (SimOutcome, Option<adaptivetc_trace::Trace>) {
     cfg.validate().expect("invalid simulation configuration");
-    let collector = (cfg.trace && policy != Policy::Tascell)
-        .then(|| adaptivetc_trace::TraceCollector::new(cfg.threads, cfg.trace_capacity));
+    // The simulator honours the category filter but never samples: its
+    // streams stay exhaustive so real-vs-sim diffs remain exact.
+    let collector = (cfg.trace && policy != Policy::Tascell).then(|| {
+        adaptivetc_trace::TraceCollector::with_options(
+            cfg.threads,
+            cfg.trace_capacity,
+            cfg.trace_filter,
+            1,
+        )
+    });
     let out = sim_inner(tree, policy, cfg, cost, collector.as_ref());
     (out, collector.map(|c| c.finish()))
 }

@@ -406,6 +406,131 @@ pub fn deque_occupancy(trace: &Trace) -> Histogram {
     h
 }
 
+// ---------------------------------------------------------------------------
+// Latency CDFs
+// ---------------------------------------------------------------------------
+
+/// An exact empirical distribution over nanosecond samples, for the
+/// per-op latency reporting the bucketed [`Histogram`] is too coarse
+/// for. Stores every sample (sorted), so use it for per-run analysis,
+/// not on the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cdf {
+    samples: Vec<u64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (any order).
+    pub fn from_samples(mut samples: Vec<u64>) -> Cdf {
+        samples.sort_unstable();
+        Cdf { samples }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (nearest-rank on the sorted samples), 0 when
+    /// empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Largest sample, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+}
+
+/// Per-op steal latency as an exact CDF: time from each `StealAttempt`
+/// to the next steal outcome (`StealOk`/`StealEmpty`/`StealDup`) in the
+/// same worker's stream — the same pairing as [`steal_latency`], kept as
+/// individual samples for p50/p90/p99 reporting.
+pub fn steal_latency_cdf(trace: &Trace) -> Cdf {
+    let mut samples = Vec::new();
+    for w in &trace.workers {
+        let mut pending: Option<u64> = None;
+        for ev in &w.events {
+            match ev.kind {
+                EventKind::StealAttempt { .. } => pending = Some(ev.ts),
+                EventKind::StealOk { .. }
+                | EventKind::StealEmpty { .. }
+                | EventKind::StealDup { .. } => {
+                    if let Some(t0) = pending.take() {
+                        samples.push(ev.ts - t0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Cdf::from_samples(samples)
+}
+
+/// `need_task` → delivery response time as an exact CDF: from a thief
+/// raising a victim's `need_task` flag (`NeedTaskSignal`) to that same
+/// thief's next successful steal (`StealOk`, from any victim — the
+/// special task the signal provokes is stealable by anyone, and what the
+/// starving thief cares about is *getting work*). Thieves that signal
+/// and never steal again contribute no sample.
+pub fn response_time_cdf(trace: &Trace) -> Cdf {
+    let mut samples = Vec::new();
+    for w in &trace.workers {
+        let mut pending: Option<u64> = None;
+        for ev in &w.events {
+            match ev.kind {
+                EventKind::NeedTaskSignal { .. } => {
+                    // A thief may re-signal (a new victim) before any
+                    // delivery; the wait began at the *first* signal.
+                    pending = pending.or(Some(ev.ts));
+                }
+                EventKind::StealOk { .. } => {
+                    if let Some(t0) = pending.take() {
+                        samples.push(ev.ts - t0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Cdf::from_samples(samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +572,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn dwell_brackets_spans() {
         let c = TraceCollector::new(1, 64);
         c.emit_at(0, 0, EventKind::Spawn { depth: 0 });
@@ -493,6 +622,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn occupancy_replay_counts_all_deque_traffic() {
         let c = TraceCollector::new(2, 64);
         c.emit_at(0, 10, EventKind::Push);
@@ -507,6 +640,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn counts_tally_every_kind() {
         let c = TraceCollector::new(1, 256);
         c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
@@ -522,5 +659,49 @@ mod tests {
         assert_eq!(counts.special_reclaimed, 1);
         assert_eq!(counts.special_lost, 1);
         assert_eq!(counts.copies_saved, 1);
+    }
+
+    #[test]
+    fn cdf_quantiles_use_nearest_rank() {
+        let cdf = Cdf::from_samples((1..=100).collect());
+        assert_eq!(cdf.count(), 100);
+        assert_eq!(cdf.p50(), 50);
+        assert_eq!(cdf.p90(), 90);
+        assert_eq!(cdf.p99(), 99);
+        assert_eq!(cdf.quantile(1.0), 100);
+        assert_eq!(cdf.max(), 100);
+        assert_eq!(cdf.mean(), 50.5);
+        let empty = Cdf::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.p99(), 0);
+    }
+
+    #[test]
+    fn steal_latency_cdf_matches_the_histogram_pairing() {
+        let c = TraceCollector::new(2, 64);
+        c.emit_at(1, 100, EventKind::StealAttempt { victim: 0 });
+        c.emit_at(1, 140, EventKind::StealEmpty { victim: 0 });
+        c.emit_at(1, 200, EventKind::StealAttempt { victim: 0 });
+        c.emit_at(1, 210, EventKind::StealOk { victim: 0 });
+        let cdf = steal_latency_cdf(&c.finish());
+        assert_eq!(cdf.count(), 2);
+        assert_eq!(cdf.p50(), 10);
+        assert_eq!(cdf.max(), 40);
+    }
+
+    #[test]
+    fn response_time_runs_from_first_signal_to_next_steal_ok() {
+        let c = TraceCollector::new(2, 64);
+        // Thief 1 signals twice (second victim) before the delivery; the
+        // wait spans from the first signal.
+        c.emit_at(1, 100, EventKind::NeedTaskSignal { victim: 0 });
+        c.emit_at(1, 150, EventKind::NeedTaskSignal { victim: 0 });
+        c.emit_at(1, 180, EventKind::StealEmpty { victim: 0 });
+        c.emit_at(1, 400, EventKind::StealOk { victim: 0 });
+        // A second wait with no delivery contributes nothing.
+        c.emit_at(1, 500, EventKind::NeedTaskSignal { victim: 0 });
+        let cdf = response_time_cdf(&c.finish());
+        assert_eq!(cdf.count(), 1);
+        assert_eq!(cdf.p50(), 300);
     }
 }

@@ -1,20 +1,39 @@
 //! The collector: one ring per worker, handed out as per-worker handles,
 //! drained into an immutable [`Trace`] once the run has quiesced.
+//!
+//! The collector also owns the run's **category filter** — one
+//! `AtomicU64` holding the effective mask (runtime `Config::trace_filter`
+//! ∧ [`compiled_mask`], with the [`Category::Job`] bit forced on so
+//! job-server epoch brackets always survive) — and its **sampling rate**
+//! (`trace_sample`, applied only to [`Category::SAMPLED_MASK`]
+//! categories). Handles check the filter with a single `Relaxed` load
+//! *before* an event is even constructed (see
+//! [`WorkerHandle::enabled`]); sampling countdowns live producer-private
+//! inside each ring, so neither mechanism adds shared-write traffic to
+//! the hot path.
 
 use crate::clock::TraceClock;
 use crate::event::{Event, EventKind, RawEvent};
+use crate::filter::{compiled_mask, Category};
 use crate::ring::EventRing;
+use crate::sync::{AtomicU64, Ordering};
 
-/// Owns the per-worker rings and the run-epoch clock for one traced run.
+/// Owns the per-worker rings, the run-epoch clock and the category
+/// filter for one traced run.
 ///
-/// Lifecycle: create with [`TraceCollector::new`], hand each worker its
-/// [`WorkerHandle`] (the handles borrow the collector, so workers must be
-/// scoped threads or the collector must be shared via `Arc`), then — after
-/// every worker has been joined — call [`TraceCollector::finish`] to drain
-/// the rings into a [`Trace`].
+/// Lifecycle: create with [`TraceCollector::new`] (or
+/// [`TraceCollector::with_options`] for a filter/sampling setup), hand
+/// each worker its [`WorkerHandle`] (the handles borrow the collector,
+/// so workers must be scoped threads or the collector must be shared via
+/// `Arc`), then — after every worker has been joined — call
+/// [`TraceCollector::finish`] to drain the rings into a [`Trace`].
 pub struct TraceCollector {
     rings: Vec<EventRing>,
     clock: TraceClock,
+    /// Effective category mask; runtime-adjustable via `set_filter`.
+    filter: AtomicU64,
+    /// 1-in-N rate for [`Category::SAMPLED_MASK`] categories (1 = all).
+    sample: u32,
 }
 
 /// A single worker's recording endpoint. Cheap to copy into the worker's
@@ -24,24 +43,78 @@ pub struct TraceCollector {
 pub struct WorkerHandle<'a> {
     ring: &'a EventRing,
     clock: TraceClock,
+    filter: &'a AtomicU64,
+    sample: u32,
 }
 
 impl WorkerHandle<'_> {
-    /// Record `kind` now. Wait-free (clock read + ring push).
+    /// Is `cat` currently recorded? One `Relaxed` load; when the
+    /// category is compiled out this constant-folds to `false` and the
+    /// caller's whole emit site is dead-code-eliminated. Call this
+    /// *before* constructing an [`EventKind`] — that is the entire point
+    /// of the filter.
+    #[inline]
+    pub fn enabled(&self, cat: Category) -> bool {
+        compiled_mask() & cat.bit() != 0 && self.filter.load(Ordering::Relaxed) & cat.bit() != 0
+    }
+
+    /// Record `kind` now if its category passes the filter and — for
+    /// sampled categories — the 1-in-N countdown. Wait-free (mask load +
+    /// clock read + ring push).
     #[inline]
     pub fn emit(&self, kind: EventKind) {
+        let cat = kind.category();
+        if self.enabled(cat) {
+            self.emit_in(cat, kind);
+        }
+    }
+
+    /// Filter-free emission for call sites that already checked
+    /// [`WorkerHandle::enabled`] for `cat` (the engine's `tev!` macro,
+    /// which names the category statically so the event expression is
+    /// only evaluated behind the mask check).
+    #[inline]
+    pub fn emit_in(&self, cat: Category, kind: EventKind) {
+        debug_assert_eq!(kind.category(), cat);
+        if self.sample > 1
+            && cat.bit() & Category::SAMPLED_MASK != 0
+            && !self.ring.sample_tick(cat, self.sample)
+        {
+            return;
+        }
         self.ring.push(RawEvent::encode(self.clock.now(), kind));
     }
 }
 
 impl TraceCollector {
-    /// A collector with one ring of `capacity` events per worker.
+    /// A collector with one ring of `capacity` events per worker, all
+    /// categories enabled and no sampling.
     pub fn new(workers: usize, capacity: usize) -> TraceCollector {
+        TraceCollector::with_options(workers, capacity, u64::MAX, 1)
+    }
+
+    /// A collector with a runtime category `filter` (a
+    /// [`Category`]-bitmask; `u64::MAX` = everything) and a 1-in-`sample`
+    /// rate for the hot categories (`0`/`1` = record every event).
+    ///
+    /// The stored mask is `filter` ∧ [`compiled_mask`] with
+    /// [`Category::Job`] forced on (job-epoch brackets must survive for
+    /// [`Trace::split_jobs`]). Creating the first collector in the
+    /// process also runs the one-time TSC calibration handshake — see
+    /// [`TraceClock`].
+    pub fn with_options(
+        workers: usize,
+        capacity: usize,
+        filter: u64,
+        sample: u32,
+    ) -> TraceCollector {
         TraceCollector {
             rings: (0..workers)
                 .map(|_| EventRing::with_capacity(capacity))
                 .collect(),
             clock: TraceClock::start(),
+            filter: AtomicU64::new(effective_mask(filter)),
+            sample: sample.max(1),
         }
     }
 
@@ -50,12 +123,39 @@ impl TraceCollector {
         self.rings.len()
     }
 
+    /// The current effective category mask.
+    pub fn filter(&self) -> u64 {
+        self.filter.load(Ordering::Relaxed)
+    }
+
+    /// The 1-in-N sampling rate for hot categories.
+    pub fn sample(&self) -> u32 {
+        self.sample
+    }
+
+    /// The run-epoch clock (exposed for bench reporting of the active
+    /// backend).
+    pub fn clock(&self) -> TraceClock {
+        self.clock
+    }
+
+    /// Swap the runtime category mask mid-run (subject to the same
+    /// clamping as [`TraceCollector::with_options`]). `Relaxed` on both
+    /// sides: a worker may record a few more events of a just-masked
+    /// category while the store propagates, which only shifts *when* the
+    /// filter cut takes effect, never what a recorded event means.
+    pub fn set_filter(&self, filter: u64) {
+        self.filter.store(effective_mask(filter), Ordering::Relaxed);
+    }
+
     /// The recording endpoint for `worker`. Each worker must use only its
     /// own handle — that is what makes the rings single-producer.
     pub fn handle(&self, worker: usize) -> WorkerHandle<'_> {
         WorkerHandle {
             ring: &self.rings[worker],
             clock: self.clock,
+            filter: &self.filter,
+            sample: self.sample,
         }
     }
 
@@ -63,8 +163,14 @@ impl TraceCollector {
     /// simulator's entry point (virtual nanoseconds); the threaded runtime
     /// uses [`WorkerHandle::emit`] instead. Not safe to mix with a live
     /// handle on another thread for the same worker.
+    ///
+    /// Respects the category filter but **not** sampling: virtual-time
+    /// streams are deterministic and cheap, and keeping them exhaustive
+    /// preserves exact real-vs-sim diffing at any sampling rate.
     pub fn emit_at(&self, worker: usize, ts: u64, kind: EventKind) {
-        self.rings[worker].push(RawEvent::encode(ts, kind));
+        if self.filter.load(Ordering::Relaxed) & kind.category().bit() != 0 {
+            self.rings[worker].push(RawEvent::encode(ts, kind));
+        }
     }
 
     /// Drain every ring into an immutable trace. Callers must ensure all
@@ -81,8 +187,18 @@ impl TraceCollector {
                 events: ring.drain(),
             })
             .collect();
-        Trace { workers }
+        Trace {
+            workers,
+            filter: self.filter.load(Ordering::Relaxed),
+            sample: self.sample,
+            clock_backend: self.clock.backend(),
+        }
     }
+}
+
+/// Clamp a requested runtime mask to the effective one.
+fn effective_mask(filter: u64) -> u64 {
+    (filter & compiled_mask()) | Category::Job.bit()
 }
 
 /// The drained event stream of one worker, oldest-first.
@@ -97,14 +213,47 @@ pub struct WorkerTrace {
 }
 
 /// A complete drained trace: one stream per worker plus the run epoch
-/// implied by timestamp zero.
+/// implied by timestamp zero, and the filter/sampling setup it was
+/// recorded under (consumers like [`validate`](crate::validate) use
+/// those to know which counters the trace can be exact about).
 #[derive(Debug, Clone)]
 pub struct Trace {
     /// Per-worker streams, indexed by worker id.
     pub workers: Vec<WorkerTrace>,
+    /// The effective category mask the run recorded under.
+    pub filter: u64,
+    /// The 1-in-N sampling rate for [`Category::SAMPLED_MASK`]
+    /// categories (1 = exhaustive).
+    pub sample: u32,
+    /// Which clock stamped the events: `"tsc"`, `"instant"`, or
+    /// `"virtual"` for simulator traces.
+    pub clock_backend: &'static str,
 }
 
 impl Trace {
+    /// An exhaustive trace (all categories, no sampling) from bare
+    /// per-worker streams. Handy for tests and for consumers that
+    /// assemble traces by hand.
+    pub fn from_workers(workers: Vec<WorkerTrace>) -> Trace {
+        Trace {
+            workers,
+            filter: u64::MAX,
+            sample: 1,
+            clock_backend: "virtual",
+        }
+    }
+
+    /// Is `cat` recorded in this trace (its filter bit set)?
+    pub fn records(&self, cat: Category) -> bool {
+        self.filter & cat.bit() != 0
+    }
+
+    /// Is `cat` subject to 1-in-N sampling in this trace (so its event
+    /// counts are lower bounds, not exact)?
+    pub fn sampled(&self, cat: Category) -> bool {
+        self.sample > 1 && cat.bit() & Category::SAMPLED_MASK != 0
+    }
+
     /// Total events across all workers.
     pub fn len(&self) -> usize {
         self.workers.iter().map(|w| w.events.len()).sum()
@@ -138,8 +287,13 @@ impl Trace {
 mod tests {
     use super::*;
     use crate::event::EventKind;
+    use crate::filter::compiled_mask;
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn handles_record_into_their_own_rings() {
         let collector = TraceCollector::new(3, 64);
         collector.handle(0).emit(EventKind::Push);
@@ -151,9 +305,15 @@ mod tests {
         assert_eq!(trace.workers[2].events.len(), 2);
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.total_dropped(), 0);
+        assert_eq!(trace.filter, compiled_mask());
+        assert_eq!(trace.sample, 1);
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn emit_at_uses_the_given_timestamp() {
         let collector = TraceCollector::new(1, 64);
         collector.emit_at(0, 12345, EventKind::FakeTask { depth: 2 });
@@ -162,6 +322,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn merged_is_sorted_by_timestamp() {
         let collector = TraceCollector::new(2, 64);
         collector.emit_at(0, 30, EventKind::Push);
@@ -173,6 +337,99 @@ mod tests {
     }
 
     #[test]
+    fn masked_categories_emit_nothing() {
+        let collector =
+            TraceCollector::with_options(1, 64, Category::Steal.bit() | Category::Fsm.bit(), 1);
+        let h = collector.handle(0);
+        assert!(h.enabled(Category::Steal));
+        assert!(!h.enabled(Category::Deque));
+        h.emit(EventKind::Push); // masked
+        h.emit(EventKind::Spawn { depth: 0 }); // masked
+        h.emit(EventKind::StealOk { victim: 0 }); // recorded
+        let trace = collector.finish();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(
+            trace.workers[0].events[0].kind,
+            EventKind::StealOk { victim: 0 }
+        );
+        assert!(trace.records(Category::Steal));
+        assert!(!trace.records(Category::Deque));
+    }
+
+    #[test]
+    fn job_brackets_survive_any_filter() {
+        let collector = TraceCollector::with_options(1, 64, 0, 1);
+        collector
+            .handle(0)
+            .emit(EventKind::JobBegin { job: 1, slot: 0 });
+        collector.emit_at(0, 5, EventKind::JobEnd { job: 1 });
+        let trace = collector.finish();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
+    fn set_filter_swaps_the_mask_mid_run() {
+        let collector = TraceCollector::new(1, 64);
+        let h = collector.handle(0);
+        h.emit(EventKind::Push);
+        collector.set_filter(Category::Steal.bit());
+        h.emit(EventKind::Push); // now masked
+        h.emit(EventKind::StealOk { victim: 0 });
+        let trace = collector.finish();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
+    fn sampling_keeps_one_in_n_of_hot_categories() {
+        let collector = TraceCollector::with_options(1, 1 << 12, u64::MAX, 4);
+        let h = collector.handle(0);
+        for _ in 0..100 {
+            h.emit(EventKind::Push);
+        }
+        for _ in 0..10 {
+            h.emit(EventKind::StealOk { victim: 0 }); // Steal is never sampled
+        }
+        let trace = collector.finish();
+        assert!(trace.sampled(Category::Deque));
+        assert!(!trace.sampled(Category::Steal));
+        let pushes = trace.workers[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Push)
+            .count();
+        let steals = trace.workers[0].events.len() - pushes;
+        assert_eq!(pushes, 25);
+        assert_eq!(steals, 10);
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
+    fn emit_at_respects_the_filter_but_not_sampling() {
+        let collector = TraceCollector::with_options(1, 256, !Category::Deque.bit(), 8);
+        for i in 0..20 {
+            collector.emit_at(0, i, EventKind::Push); // masked
+            collector.emit_at(0, i, EventKind::Spawn { depth: 0 }); // unsampled in virtual time
+        }
+        let trace = collector.finish();
+        assert_eq!(trace.len(), 20);
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn concurrent_workers_then_finish() {
         let collector = std::sync::Arc::new(TraceCollector::new(4, 4096));
         let mut joins = Vec::new();

@@ -110,7 +110,15 @@ impl Trace {
                     workers[slot as usize].events = acc.events;
                     workers[slot as usize].dropped = acc.dropped;
                 }
-                (job, Trace { workers })
+                (
+                    job,
+                    Trace {
+                        workers,
+                        filter: self.filter,
+                        sample: self.sample,
+                        clock_backend: self.clock_backend,
+                    },
+                )
             })
             .collect()
     }
@@ -145,9 +153,10 @@ pub fn validate_concurrent(trace: &Trace, jobs: &[(u32, &RunReport)]) -> Vec<Job
     let split = trace.split_jobs();
     let mut out = Vec::new();
     for (job, report) in jobs {
-        let mut sub = split.get(job).cloned().unwrap_or(Trace {
-            workers: Vec::new(),
-        });
+        let mut sub = split
+            .get(job)
+            .cloned()
+            .unwrap_or_else(|| Trace::from_workers(Vec::new()));
         while sub.workers.len() < report.per_worker.len() {
             sub.workers.push(WorkerTrace {
                 worker: sub.workers.len(),
@@ -189,6 +198,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn split_rekeys_by_job_and_slot() {
         let split = interleaved().split_jobs();
         assert_eq!(split.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
@@ -216,6 +229,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn validate_concurrent_checks_each_job_against_its_own_report() {
         let trace = interleaved();
         let r1 = RunReport::from_workers(
@@ -270,6 +287,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn unfilled_slot_is_padded_with_an_empty_stream() {
         let c = TraceCollector::new(1, 64);
         c.emit_at(0, 1, EventKind::JobBegin { job: 7, slot: 0 });
@@ -290,6 +311,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn dropped_events_poison_contributing_slots() {
         // Drop-oldest overflow swallows the JobBegin marker; the surviving
         // JobEnd must still get job 3 poisoned.

@@ -9,17 +9,24 @@
 //! * [`event`] — the compact 16-byte event schema shared by the threaded
 //!   runtime and the discrete-event simulator, plus the legal FSM edge
 //!   set derived from the paper's version walk.
-//! * [`ring`] — per-worker SPSC rings: wait-free producer, drop-oldest
-//!   overflow with a dropped counter, quiescent drain.
-//! * [`clock`] — run-epoch monotonic timestamps (the sim stamps virtual
-//!   time instead).
-//! * [`collector`] — one ring per worker, per-worker [`WorkerHandle`]s,
-//!   drained into an immutable [`Trace`].
+//! * [`ring`] — per-worker SPSC rings: block-claim producer protocol
+//!   (plain-store hot path, one `Release` publication per block),
+//!   drop-oldest overflow with derived accounting, quiescent drain.
+//! * [`clock`] — run-epoch monotonic timestamps: calibrated invariant-TSC
+//!   reads on x86_64, `Instant` elsewhere (the sim stamps virtual time
+//!   instead).
+//! * [`filter`] — event categories and the compile-time + runtime
+//!   category filter mask.
+//! * [`collector`] — one ring per worker, per-worker [`WorkerHandle`]s
+//!   with mask-gated, optionally sampled emission, drained into an
+//!   immutable [`Trace`].
 //! * [`chrome`] — `chrome://tracing` / Perfetto JSON export.
 //! * [`analysis`] — steal-provenance tree, per-state dwell times,
-//!   steal-latency and deque-occupancy histograms, aggregate counts.
+//!   steal-latency and deque-occupancy histograms, steal-latency and
+//!   need_task→delivery response-time CDFs, aggregate counts.
 //! * [`validate`] — the differential oracle: trace-derived counts must
-//!   equal `RunStats` exactly, per worker and in aggregate.
+//!   equal `RunStats` exactly, per worker and in aggregate, for every
+//!   category the trace recorded unsampled.
 //! * [`diff`] — real-vs-simulated stream comparison over the shared
 //!   schema subset.
 //!
@@ -35,18 +42,21 @@ pub mod clock;
 pub mod collector;
 pub mod diff;
 pub mod event;
+pub mod filter;
 pub mod jobs;
 pub mod ring;
 pub(crate) mod sync;
 pub mod validate;
 
 pub use analysis::{
-    deque_occupancy, dwell_times, steal_latency, Dwell, Histogram, StealTree, TraceCounts,
+    deque_occupancy, dwell_times, response_time_cdf, steal_latency, steal_latency_cdf, Cdf, Dwell,
+    Histogram, StealTree, TraceCounts,
 };
 pub use chrome::to_chrome_json;
 pub use clock::TraceClock;
 pub use collector::{Trace, TraceCollector, WorkerHandle, WorkerTrace};
 pub use diff::TraceDiff;
 pub use event::{legal_fsm_edge, Event, EventKind, FsmState, RawEvent};
+pub use filter::{compiled_mask, Category};
 pub use jobs::{validate_concurrent, JobMismatch};
 pub use validate::{assert_valid, validate, Mismatch};

@@ -1,49 +1,88 @@
-//! Per-worker SPSC event ring.
+//! Per-worker SPSC event ring with a block-claim producer protocol.
 //!
 //! One [`EventRing`] belongs to exactly one producer (the worker thread
 //! that records into it). The hot-path contract is deliberately narrow so
-//! that [`EventRing::push`] is wait-free:
+//! that [`EventRing::push`] compiles to a store, a counter bump and one
+//! predictable branch:
 //!
-//! * **Single producer.** Only the owning worker calls `push`. Both the
-//!   head (oldest live slot) and the tail (next free slot) are advanced
-//!   by the producer alone — on overflow the *producer* performs the
-//!   drop-oldest step (advance head, bump the `dropped` counter), so no
-//!   consumer coordination exists on the hot path at all.
-//! * **Quiescent consumer.** [`EventRing::drain`] is only called after
-//!   the worker threads have been joined (the collector's `finish`
-//!   consumes `self`), so the relaxed atomics need only establish
-//!   ordering through the join, which `std::thread::join` provides.
+//! * **Single producer, private cursor.** Only the owning worker calls
+//!   `push`. The write cursor (`tail`) is a plain [`Cell`] the producer
+//!   alone touches — no atomic load, store or RMW per event. The
+//!   producer implicitly *claims a block* of `block` slots at a time:
+//!   only when the cursor crosses a block boundary does it publish the
+//!   new tail with a single `Release` store. Between publications the
+//!   freshest `< block` events are invisible to observers — never lost,
+//!   only not yet published.
+//! * **Drop-oldest without a head counter.** The cursor wraps over the
+//!   power-of-two slot array, so a full ring overwrites the oldest
+//!   event by construction. The head is *derived*, not stored:
+//!   `head = max(consumed, tail − capacity)`, and the dropped count is
+//!   whatever that subtraction swallowed. The old design's per-push
+//!   head load, full-ring branch and `fetch_add` are gone entirely.
+//! * **Quiescent consumer.** [`EventRing::drain`] requires `&mut self`
+//!   and is only called after the worker threads have been joined (the
+//!   collector's `finish` consumes `self`); it reads the producer's
+//!   private cursor directly, which the join's happens-before makes
+//!   safe. Mid-run observers must use [`EventRing::published_len`],
+//!   which reads only the `Release`-published tail.
+//! * **Producer-side sampling.** The per-category 1-in-N countdowns of
+//!   the collector's sampling path ([`EventRing::sample_tick`]) also
+//!   live in the producer's private cache line as plain `Cell`s.
 //!
-//! Slots are plain [`RawEvent`]s in `UnsafeCell`s; head/tail/dropped are
-//! `CachePadded` atomics so two adjacent workers' rings never false-share
-//! their control words.
+//! Slots are plain [`RawEvent`]s in `UnsafeCell`s; the producer state
+//! and the published tail are `CachePadded` so two adjacent workers'
+//! rings never false-share their control words.
 
 use crate::event::{Event, RawEvent};
+use crate::filter::Category;
 use crate::sync::{AtomicU64, Ordering};
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 
 /// Minimum ring capacity; smaller requests are rounded up.
 pub const MIN_CAPACITY: usize = 16;
 
+/// Block granularity of tail publication (capped at the ring capacity):
+/// the producer publishes its cursor once per this many events.
+pub const BLOCK: u64 = 64;
+
+/// Producer-private state: touched only by the owning worker thread.
+struct Producer {
+    /// Next free slot index (monotonically increasing, not wrapped).
+    tail: Cell<u64>,
+    /// First index past the currently claimed block; crossing it
+    /// publishes the cursor and claims the next block.
+    block_end: Cell<u64>,
+    /// Per-category 1-in-N sampling countdowns.
+    samples: [Cell<u32>; Category::ALL.len()],
+}
+
 /// A fixed-capacity single-producer event buffer with drop-oldest
-/// overflow semantics.
+/// overflow semantics and block-granular tail publication.
 pub struct EventRing {
     slots: Box<[UnsafeCell<RawEvent>]>,
     mask: u64,
-    /// Oldest live slot index (monotonically increasing, not wrapped).
-    head: CachePadded<AtomicU64>,
-    /// Next free slot index (monotonically increasing, not wrapped).
-    tail: CachePadded<AtomicU64>,
-    /// Events overwritten because the ring was full.
-    dropped: CachePadded<AtomicU64>,
+    block: u64,
+    /// Producer-private cursors (see [`Producer`]).
+    prod: CachePadded<Producer>,
+    /// Tail as of the last block boundary, `Release`-published for
+    /// mid-run observers. Lags `prod.tail` by less than `block`.
+    published: CachePadded<AtomicU64>,
+    /// Index up to which `drain` has consumed (consumer-private).
+    consumed: Cell<u64>,
+    /// Overwritten events accounted by past drains (consumer-private).
+    dropped_drained: Cell<u64>,
 }
 
-// SAFETY: the slot cells are only written by the single producer thread
-// and only read by `drain`, which requires `&mut self` — so at any point
-// in time at most one thread touches a given cell, and the handoff from
-// producer to consumer is ordered by the thread join that precedes
-// draining (see the module docs).
+// SAFETY: the slot cells and the producer/consumer `Cell`s are split by
+// role. Producer state (`prod`, slot writes) is touched only by the
+// single producer thread; consumer state (`consumed`, `dropped_drained`,
+// slot reads) only under `&mut self` (`drain`) or after the producer has
+// quiesced (`len`/`dropped`, see their docs) — so at any point in time
+// at most one thread touches a given cell, and the handoff from producer
+// to consumer is ordered by the thread join that precedes draining (see
+// the module docs). Cross-thread *mid-run* observation goes exclusively
+// through the `published` atomic.
 unsafe impl Sync for EventRing {}
 unsafe impl Send for EventRing {}
 
@@ -54,12 +93,19 @@ impl EventRing {
         let cap = capacity.max(MIN_CAPACITY).next_power_of_two();
         let slots: Vec<UnsafeCell<RawEvent>> =
             (0..cap).map(|_| UnsafeCell::new(RawEvent::ZERO)).collect();
+        let block = BLOCK.min(cap as u64);
         EventRing {
             slots: slots.into_boxed_slice(),
             mask: (cap - 1) as u64,
-            head: CachePadded::new(AtomicU64::new(0)),
-            tail: CachePadded::new(AtomicU64::new(0)),
-            dropped: CachePadded::new(AtomicU64::new(0)),
+            block,
+            prod: CachePadded::new(Producer {
+                tail: Cell::new(0),
+                block_end: Cell::new(block),
+                samples: [const { Cell::new(0) }; Category::ALL.len()],
+            }),
+            published: CachePadded::new(AtomicU64::new(0)),
+            consumed: Cell::new(0),
+            dropped_drained: Cell::new(0),
         }
     }
 
@@ -69,7 +115,7 @@ impl EventRing {
     }
 
     /// Record one event. Wait-free; on a full ring the oldest event is
-    /// overwritten and the dropped counter incremented.
+    /// overwritten (drop-oldest, accounted at drain time).
     ///
     /// # Safety contract (not enforced by the type system)
     /// Must only be called from the single producer thread that owns this
@@ -77,33 +123,77 @@ impl EventRing {
     /// uphold this.
     ///
     /// [`WorkerHandle`]: crate::collector::WorkerHandle
+    #[inline]
     pub fn push(&self, ev: RawEvent) {
-        let tail = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Relaxed);
-        if tail - head == self.slots.len() as u64 {
-            // Full: drop the oldest. Only the producer moves head, so a
-            // plain store is race-free.
-            self.head.store(head + 1, Ordering::Relaxed);
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
+        let tail = self.prod.tail.get();
         let idx = (tail & self.mask) as usize;
         // SAFETY: single producer (contract above); no concurrent reader
         // until quiescent drain.
         unsafe { *self.slots[idx].get() = ev };
-        self.tail.store(tail + 1, Ordering::Release);
+        let next = tail + 1;
+        self.prod.tail.set(next);
+        if next == self.prod.block_end.get() {
+            // Block boundary: publish the claimed block in one go.
+            self.published.store(next, Ordering::Release);
+            self.prod.block_end.set(next + self.block);
+        }
     }
 
-    /// Events overwritten so far.
+    /// Producer-side 1-in-N sampling countdown for `cat`: returns `true`
+    /// when this occurrence should be recorded (the first of every run
+    /// of `n`). Producer-only, like [`EventRing::push`].
+    #[inline]
+    pub fn sample_tick(&self, cat: Category, n: u32) -> bool {
+        let cell = &self.prod.samples[cat as usize];
+        let left = cell.get();
+        if left == 0 {
+            cell.set(n - 1);
+            true
+        } else {
+            cell.set(left - 1);
+            false
+        }
+    }
+
+    /// Events published so far and not yet consumed — what a *mid-run*
+    /// observer on another thread may safely see. Lags the true count by
+    /// less than the block size.
+    pub fn published_len(&self) -> usize {
+        let published = self.published.load(Ordering::Acquire);
+        let consumed = self.consumed.get();
+        let head = consumed.max(published.saturating_sub(self.slots.len() as u64));
+        (published - head) as usize
+    }
+
+    /// Overwritten events not yet accounted by a drain.
+    fn pending_overwrites(&self) -> u64 {
+        self.prod
+            .tail
+            .get()
+            .saturating_sub(self.slots.len() as u64)
+            .saturating_sub(self.consumed.get())
+    }
+
+    /// Events overwritten so far. Exact, so it reads the producer's
+    /// private cursor: only call once the producer has quiesced (or from
+    /// the producer thread itself).
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped_drained.get() + self.pending_overwrites()
     }
 
-    /// Number of live events currently buffered.
+    /// Number of live events currently buffered. Quiescent-exact, like
+    /// [`EventRing::dropped`]; mid-run observers want
+    /// [`EventRing::published_len`].
     pub fn len(&self) -> usize {
-        (self.tail.load(Ordering::Relaxed) - self.head.load(Ordering::Relaxed)) as usize
+        let tail = self.prod.tail.get();
+        let head = self
+            .consumed
+            .get()
+            .max(tail.saturating_sub(self.slots.len() as u64));
+        (tail - head) as usize
     }
 
-    /// True when no events are buffered.
+    /// True when no events are buffered (quiescent-exact).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -111,8 +201,11 @@ impl EventRing {
     /// Decode the live events oldest-first. Requires exclusive access —
     /// i.e. the producer has quiesced (worker joined).
     pub fn drain(&mut self) -> Vec<Event> {
-        let head = self.head.load(Ordering::Acquire);
-        let tail = self.tail.load(Ordering::Acquire);
+        let tail = self.prod.tail.get();
+        let consumed = self.consumed.get();
+        let head = consumed.max(tail.saturating_sub(self.slots.len() as u64));
+        self.dropped_drained
+            .set(self.dropped_drained.get() + (head - consumed));
         let mut out = Vec::with_capacity((tail - head) as usize);
         for i in head..tail {
             let idx = (i & self.mask) as usize;
@@ -123,7 +216,10 @@ impl EventRing {
                 kind: raw.decode(),
             });
         }
-        self.head.store(tail, Ordering::Relaxed);
+        self.consumed.set(tail);
+        // Catch the published tail up so observers agree the ring is
+        // empty again.
+        self.published.store(tail, Ordering::Release);
         out
     }
 }
@@ -168,6 +264,8 @@ mod tests {
         // The survivors are the newest 16, oldest-first.
         assert_eq!(events.first().unwrap().ts, 24);
         assert_eq!(events.last().unwrap().ts, 39);
+        // Drop accounting survives the drain.
+        assert_eq!(ring.dropped(), 24);
     }
 
     #[test]
@@ -178,6 +276,56 @@ mod tests {
         assert_eq!(ring.drain().len(), 0);
         ring.push(RawEvent::encode(2, EventKind::Pop));
         assert_eq!(ring.drain().len(), 1);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn publication_is_block_granular() {
+        let ring = EventRing::with_capacity(256);
+        for i in 0..(BLOCK - 1) {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        // One short of a block: nothing published yet.
+        assert_eq!(ring.published_len(), 0);
+        assert_eq!(ring.len(), (BLOCK - 1) as usize);
+        ring.push(RawEvent::encode(BLOCK, EventKind::Push));
+        assert_eq!(ring.published_len(), BLOCK as usize);
+    }
+
+    #[test]
+    fn tiny_rings_publish_every_capacity_events() {
+        // Block is capped at the capacity, so a minimum-size ring still
+        // publishes.
+        let ring = EventRing::with_capacity(MIN_CAPACITY);
+        for i in 0..MIN_CAPACITY as u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        assert_eq!(ring.published_len(), MIN_CAPACITY);
+    }
+
+    #[test]
+    fn published_len_caps_at_capacity_on_overflow() {
+        let ring = EventRing::with_capacity(16);
+        for i in 0..160u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        assert_eq!(ring.published_len(), 16);
+        assert_eq!(ring.len(), 16);
+        assert_eq!(ring.dropped(), 144);
+    }
+
+    #[test]
+    fn sample_tick_records_one_in_n() {
+        let ring = EventRing::with_capacity(16);
+        let hits: Vec<bool> = (0..10)
+            .map(|_| ring.sample_tick(Category::Deque, 4))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![true, false, false, false, true, false, false, false, true, false]
+        );
+        // Categories count down independently.
+        assert!(ring.sample_tick(Category::Fake, 4));
     }
 
     #[test]
@@ -196,5 +344,26 @@ mod tests {
         let events = ring.drain();
         assert_eq!(events.len(), 500);
         assert!(events.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn mid_run_observer_sees_only_published_blocks() {
+        // A reader polling published_len concurrently with a producer
+        // must only ever see multiples of the block (until overflow).
+        let ring = std::sync::Arc::new(EventRing::with_capacity(1 << 16));
+        let observer = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                while seen < 4096 {
+                    seen = ring.published_len();
+                    assert_eq!(seen as u64 % BLOCK, 0);
+                }
+            })
+        };
+        for i in 0..4096u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        observer.join().unwrap();
     }
 }

@@ -4,9 +4,22 @@
 //! This is the acceptance oracle for the instrumentation itself: every
 //! counter the engine bumps has a twin event, so any missed or spurious
 //! emission shows up as a mismatch here.
+//!
+//! The oracle is **filter- and sampling-aware**. Each checked counter
+//! derives from events of exactly one [`Category`] (the partition in
+//! [`crate::filter`] is designed around this), so:
+//!
+//! * a counter whose category the trace's filter masked is skipped — the
+//!   trace legitimately contains no evidence either way;
+//! * a counter whose category was 1-in-N *sampled* is checked as a bound
+//!   (`traced ≤ stats`): sampling drops events but never invents them,
+//!   and `RunStats` keeps the exact count regardless;
+//! * every other counter — all categories recorded unsampled — is
+//!   checked exactly, as before.
 
 use crate::analysis::TraceCounts;
 use crate::collector::Trace;
+use crate::filter::Category;
 use adaptivetc_core::stats::{RunReport, RunStats};
 
 /// One discrepancy between the trace and the stats.
@@ -39,70 +52,96 @@ impl std::fmt::Display for Mismatch {
     }
 }
 
-fn check(
-    out: &mut Vec<Mismatch>,
-    worker: Option<usize>,
-    counter: &'static str,
-    traced: u64,
-    stats: u64,
-) {
-    if traced != stats {
-        out.push(Mismatch {
-            worker,
-            counter,
-            traced,
-            stats,
-        });
-    }
+struct Checker<'a> {
+    trace: &'a Trace,
+    out: Vec<Mismatch>,
 }
 
-fn compare(out: &mut Vec<Mismatch>, worker: Option<usize>, c: &TraceCounts, s: &RunStats) {
-    check(out, worker, "tasks_created", c.spawns, s.tasks_created);
-    check(
-        out,
-        worker,
-        "deque_pushes",
-        c.pushes + c.special_pushes,
-        s.deque_pushes,
-    );
-    check(
-        out,
-        worker,
-        "deque_pops",
-        c.pops + c.special_reclaimed,
-        s.deque_pops,
-    );
-    check(
-        out,
-        worker,
-        "pop_conflicts",
-        c.pop_conflicts + c.special_lost,
-        s.pop_conflicts,
-    );
-    check(out, worker, "steals_ok", c.steals_ok, s.steals_ok);
-    check(
-        out,
-        worker,
-        "steals_failed",
-        c.steals_empty,
-        s.steals_failed,
-    );
-    check(out, worker, "fake_tasks", c.fake_tasks, s.fake_tasks);
-    check(
-        out,
-        worker,
-        "special_tasks",
-        c.special_begins,
-        s.special_tasks,
-    );
-    check(
-        out,
-        worker,
-        "workspace_copies_saved",
-        c.copies_saved,
-        s.workspace_copies_saved,
-    );
-    check(out, worker, "suspensions", c.suspends, s.suspensions);
+impl Checker<'_> {
+    /// Check one counter against its single source category: exact when
+    /// the category was recorded unsampled, `traced ≤ stats` when
+    /// sampled, skipped when masked.
+    fn check(
+        &mut self,
+        worker: Option<usize>,
+        counter: &'static str,
+        cat: Category,
+        traced: u64,
+        stats: u64,
+    ) {
+        if !self.trace.records(cat) {
+            return;
+        }
+        let mismatch = if self.trace.sampled(cat) {
+            traced > stats
+        } else {
+            traced != stats
+        };
+        if mismatch {
+            self.out.push(Mismatch {
+                worker,
+                counter,
+                traced,
+                stats,
+            });
+        }
+    }
+
+    fn compare(&mut self, worker: Option<usize>, c: &TraceCounts, s: &RunStats) {
+        use Category as Cat;
+        self.check(
+            worker,
+            "tasks_created",
+            Cat::Spawn,
+            c.spawns,
+            s.tasks_created,
+        );
+        self.check(
+            worker,
+            "deque_pushes",
+            Cat::Deque,
+            c.pushes + c.special_pushes,
+            s.deque_pushes,
+        );
+        self.check(
+            worker,
+            "deque_pops",
+            Cat::Deque,
+            c.pops + c.special_reclaimed,
+            s.deque_pops,
+        );
+        self.check(
+            worker,
+            "pop_conflicts",
+            Cat::Deque,
+            c.pop_conflicts + c.special_lost,
+            s.pop_conflicts,
+        );
+        self.check(worker, "steals_ok", Cat::Steal, c.steals_ok, s.steals_ok);
+        self.check(
+            worker,
+            "steals_failed",
+            Cat::Steal,
+            c.steals_empty,
+            s.steals_failed,
+        );
+        self.check(worker, "fake_tasks", Cat::Fake, c.fake_tasks, s.fake_tasks);
+        self.check(
+            worker,
+            "special_tasks",
+            Cat::Special,
+            c.special_begins,
+            s.special_tasks,
+        );
+        self.check(
+            worker,
+            "workspace_copies_saved",
+            Cat::Workspace,
+            c.copies_saved,
+            s.workspace_copies_saved,
+        );
+        self.check(worker, "suspensions", Cat::Sync, c.suspends, s.suspensions);
+    }
 }
 
 /// Validate `trace` against `report`. Returns every mismatch found (empty
@@ -110,10 +149,13 @@ fn compare(out: &mut Vec<Mismatch>, worker: Option<usize>, c: &TraceCounts, s: &
 /// count invalidates the comparison and is reported as a mismatch on the
 /// pseudo-counter `dropped_events`.
 pub fn validate(trace: &Trace, report: &RunReport) -> Vec<Mismatch> {
-    let mut out = Vec::new();
+    let mut ck = Checker {
+        trace,
+        out: Vec::new(),
+    };
     for w in &trace.workers {
         if w.dropped > 0 {
-            out.push(Mismatch {
+            ck.out.push(Mismatch {
                 worker: Some(w.worker),
                 counter: "dropped_events",
                 traced: w.dropped,
@@ -125,12 +167,12 @@ pub fn validate(trace: &Trace, report: &RunReport) -> Vec<Mismatch> {
     if report.per_worker.len() == trace.workers.len() {
         for (w, stats) in trace.workers.iter().zip(report.per_worker.iter()) {
             let counts = TraceCounts::from_events(w.events.iter());
-            compare(&mut out, Some(w.worker), &counts, stats);
+            ck.compare(Some(w.worker), &counts, stats);
         }
     }
     let total = TraceCounts::from_trace(trace);
-    compare(&mut out, None, &total, &report.stats);
-    out
+    ck.compare(None, &total, &report.stats);
+    ck.out
 }
 
 /// Panic with a readable report if `validate` finds any mismatch.
@@ -193,6 +235,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn mismatch_is_reported_per_worker_and_aggregate() {
         let c = TraceCollector::new(1, 256);
         c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
@@ -210,9 +256,77 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "trace/stats differential failed")]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
     fn assert_valid_panics_on_mismatch() {
         let c = TraceCollector::new(1, 256);
         c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
         assert_valid(&c.finish(), &report_for(vec![RunStats::default()]));
+    }
+
+    #[test]
+    fn masked_categories_are_skipped_not_mismatched() {
+        // Deque masked: the stats can claim any push/pop counts without
+        // the (empty) trace contradicting them — but spawns stay exact.
+        let c = TraceCollector::with_options(1, 256, !Category::Deque.bit(), 1);
+        c.emit_at(0, 1, EventKind::Spawn { depth: 0 });
+        c.emit_at(0, 2, EventKind::Push); // filtered out
+        let s = RunStats {
+            tasks_created: 1,
+            deque_pushes: 7,
+            deque_pops: 7,
+            ..Default::default()
+        };
+        let mismatches = validate(&c.finish(), &report_for(vec![s]));
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
+    fn sampled_categories_are_bounded_not_exact() {
+        let c = TraceCollector::with_options(1, 256, u64::MAX, 4);
+        let h = c.handle(0);
+        for _ in 0..16 {
+            h.emit(EventKind::Push); // 4 survive the 1-in-4 sampling
+        }
+        h.emit(EventKind::SyncSuspend); // Sync is never sampled
+        let s = RunStats {
+            deque_pushes: 16,
+            suspensions: 1,
+            ..Default::default()
+        };
+        let trace = c.finish();
+        assert!(validate(&trace, &report_for(vec![s])).is_empty());
+        // But a traced count *exceeding* the stats is still a mismatch.
+        let lying = RunStats {
+            deque_pushes: 2,
+            suspensions: 1,
+            ..Default::default()
+        };
+        let mismatches = validate(&trace, &report_for(vec![lying]));
+        assert!(
+            mismatches.iter().any(|m| m.counter == "deque_pushes"),
+            "{mismatches:?}"
+        );
+    }
+
+    #[test]
+    fn unsampled_categories_stay_exact_under_sampling() {
+        // With sampling on, a missed suspension event must still fail.
+        let c = TraceCollector::with_options(1, 256, u64::MAX, 8);
+        let s = RunStats {
+            suspensions: 1,
+            ..Default::default()
+        };
+        let mismatches = validate(&c.finish(), &report_for(vec![s]));
+        assert!(
+            mismatches.iter().any(|m| m.counter == "suspensions"),
+            "{mismatches:?}"
+        );
     }
 }

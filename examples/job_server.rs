@@ -94,12 +94,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     for (n, h) in (6..=8).zip(batch) {
-        let latency = h.latency();
+        // `latency()` is `None` until the job is terminal (and `wait`
+        // consumes the handle), so poll it to completion first.
+        let latency = loop {
+            match h.latency() {
+                Some(l) => break l,
+                None => std::thread::yield_now(),
+            }
+        };
         if let JobOutcome::Completed { out, .. } = h.wait() {
-            println!(
-                "{n}-queens: {out:>4} solutions  (submit-to-terminal {:?})",
-                latency.unwrap_or_default(),
-            );
+            println!("{n}-queens: {out:>4} solutions  (submit-to-terminal {latency:?})");
         }
     }
 

@@ -96,7 +96,9 @@ fn wait_started(flag: &AtomicBool) {
 fn overlapping_jobs_split_and_validate_per_epoch() {
     let started = Arc::new(AtomicBool::new(false));
     let gate = Arc::new(AtomicBool::new(false));
-    let server = JobServer::new(ServerConfig::new(2).trace(true));
+    // Exhaustive recording: the epoch-vs-solo comparison below is
+    // event-for-event, which independent 1-in-N countdowns would break.
+    let server = JobServer::new(ServerConfig::new(2).trace(true).trace_sample(1));
 
     // Job A: parks on the gate at its first leaf.
     let a = server
@@ -162,8 +164,12 @@ fn overlapping_jobs_split_and_validate_per_epoch() {
     // Job B is single-slot and seeded, so its sub-trace must be
     // event-for-event identical (counts, not timestamps) to a solo traced
     // run of the same problem and config.
-    let (solo_out, solo_report, solo_trace) =
-        run_traced(&Tern { height: 4 }, &cfg_b.trace(true), Mode::Adaptive).expect("solo run");
+    let (solo_out, solo_report, solo_trace) = run_traced(
+        &Tern { height: 4 },
+        &cfg_b.trace(true).trace_sample(1),
+        Mode::Adaptive,
+    )
+    .expect("solo run");
     let solo_trace = solo_trace.expect("solo tracing enabled");
     assert_eq!(out_b, solo_out);
     assert_eq!(report_b.stats, solo_report.stats);

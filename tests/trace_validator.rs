@@ -17,7 +17,10 @@ use adaptivetc_suite::workloads::nqueens::NqueensArray;
 /// The acceptance matrix: fig1 and nqueens across every deque backend,
 /// thread counts with real stealing, and the schedulers that exercise
 /// the distinct engine modes (including plain Cilk — tracing is not an
-/// AdaptiveTC-only facility).
+/// AdaptiveTC-only facility). Each cell runs twice: exhaustively
+/// (`trace_sample(1)`, everything exact) and at the default
+/// flight-recorder rate (hot categories become lower bounds, everything
+/// unsampled must stay exact).
 #[test]
 fn trace_counts_equal_runstats() {
     let fig1 = Fig1Tree::new();
@@ -29,40 +32,43 @@ fn trace_counts_equal_runstats() {
     ] {
         for backend in DequeBackend::ALL {
             for threads in [1usize, 2, 4] {
-                let cfg = Config::new(threads)
-                    .trace(true)
-                    .backend(backend)
-                    .max_stolen_num(2)
-                    .seed(42 + threads as u64);
-                for (label, trace, report) in [
-                    {
-                        let (out, report, trace) = scheduler
-                            .run_traced(&fig1, &cfg.clone().cutoff(CutoffPolicy::Fixed(2)))
-                            .expect("fig1 run");
-                        assert_eq!(out, Fig1Tree::LEAVES);
-                        ("fig1", trace, report)
-                    },
-                    {
-                        let (out, report, trace) =
-                            scheduler.run_traced(&queens, &cfg).expect("nqueens run");
-                        assert_eq!(out, 40, "nqueens(7) solutions");
-                        ("nqueens", trace, report)
-                    },
-                ] {
-                    let trace = trace.expect("Config::trace is set");
-                    assert_eq!(trace.workers.len(), threads);
-                    assert_eq!(trace.total_dropped(), 0, "ring sized for the workload");
-                    let mismatches = validate(&trace, &report);
-                    assert!(
-                        mismatches.is_empty(),
-                        "{label}/{scheduler}/{}/{threads}t:\n{}",
-                        backend.name(),
-                        mismatches
-                            .iter()
-                            .map(ToString::to_string)
-                            .collect::<Vec<_>>()
-                            .join("\n")
-                    );
+                for sample in [1u32, Config::new(1).trace_sample] {
+                    let cfg = Config::new(threads)
+                        .trace(true)
+                        .trace_sample(sample)
+                        .backend(backend)
+                        .max_stolen_num(2)
+                        .seed(42 + threads as u64);
+                    for (label, trace, report) in [
+                        {
+                            let (out, report, trace) = scheduler
+                                .run_traced(&fig1, &cfg.clone().cutoff(CutoffPolicy::Fixed(2)))
+                                .expect("fig1 run");
+                            assert_eq!(out, Fig1Tree::LEAVES);
+                            ("fig1", trace, report)
+                        },
+                        {
+                            let (out, report, trace) =
+                                scheduler.run_traced(&queens, &cfg).expect("nqueens run");
+                            assert_eq!(out, 40, "nqueens(7) solutions");
+                            ("nqueens", trace, report)
+                        },
+                    ] {
+                        let trace = trace.expect("Config::trace is set");
+                        assert_eq!(trace.workers.len(), threads);
+                        assert_eq!(trace.total_dropped(), 0, "ring sized for the workload");
+                        let mismatches = validate(&trace, &report);
+                        assert!(
+                            mismatches.is_empty(),
+                            "{label}/{scheduler}/{}/{threads}t/sample {sample}:\n{}",
+                            backend.name(),
+                            mismatches
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join("\n")
+                        );
+                    }
                 }
             }
         }
@@ -118,8 +124,11 @@ fn tracing_is_opt_in() {
 #[test]
 fn fig1_trace_diff_real_vs_sim_is_exact() {
     let tree = Fig1Tree::new();
+    // Exhaustive on the real side: the sim's virtual-time stream never
+    // samples, so an exact diff needs the threaded run unsampled too.
     let cfg = Config::new(1)
         .trace(true)
+        .trace_sample(1)
         .cutoff(CutoffPolicy::Fixed(2))
         .seed(42);
     let (out, _, real) = Scheduler::AdaptiveTc
