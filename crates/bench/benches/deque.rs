@@ -1,9 +1,12 @@
 //! Criterion micro-benchmarks for the d-e-que substrate: the THE protocol's
 //! owner fast path, the special-task operations, and the growable
-//! `PoolDeque` for comparison. These quantify the "management of d-e-ques"
-//! cost component of the paper's overhead breakdowns.
+//! `PoolDeque` and fence-free multiplicity deque for comparison. These
+//! quantify the "management of d-e-ques" cost component of the paper's
+//! overhead breakdowns.
 
-use adaptivetc_deque::{ChaseLevDeque, ClSteal, PoolDeque, StealOutcome, TheDeque, WsDeque};
+use adaptivetc_deque::{
+    ChaseLevDeque, ClSteal, FenceFreeDeque, PoolDeque, StealOutcome, TheDeque, WsDeque,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -48,6 +51,54 @@ fn bench_backend_steal<D: WsDeque<u64>>(c: &mut Criterion) {
     });
 }
 
+/// Ops per iteration for the fence-free benches. Its publication log is
+/// monotone — segments are freed only on `Drop` — so the open-ended
+/// single-deque loops above would grow its memory without bound. Each
+/// iteration instead runs a bounded burst on a fresh deque; the
+/// construction cost is amortized over the burst and the reported figure
+/// is per *burst*, not per op.
+const FF_BURST: u64 = 256;
+
+fn bench_fence_free(c: &mut Criterion) {
+    c.bench_function(&format!("backend/fence-free/push_pop_x{FF_BURST}"), |b| {
+        b.iter(|| {
+            let dq: FenceFreeDeque<u64> = FenceFreeDeque::with_capacity(FF_BURST as usize);
+            for i in 0..FF_BURST {
+                WsDeque::push(&dq, black_box(i)).unwrap();
+                black_box(WsDeque::pop(&dq));
+            }
+        })
+    });
+    c.bench_function(
+        &format!("backend/fence-free/special_cycle_x{FF_BURST}"),
+        |b| {
+            b.iter(|| {
+                let dq: FenceFreeDeque<u64> = FenceFreeDeque::with_capacity(FF_BURST as usize);
+                for i in 0..FF_BURST {
+                    WsDeque::push_special(&dq, black_box(9)).unwrap();
+                    WsDeque::push(&dq, black_box(i)).unwrap();
+                    black_box(WsDeque::pop(&dq));
+                    black_box(WsDeque::pop_special(&dq));
+                }
+            })
+        },
+    );
+    c.bench_function(&format!("backend/fence-free/push_steal_x{FF_BURST}"), |b| {
+        b.iter(|| {
+            let dq: FenceFreeDeque<u64> = FenceFreeDeque::with_capacity(FF_BURST as usize);
+            for i in 0..FF_BURST {
+                WsDeque::push(&dq, black_box(i)).unwrap();
+                match WsDeque::steal(&dq) {
+                    StealOutcome::Stolen(v) => {
+                        black_box(v);
+                    }
+                    StealOutcome::Empty => unreachable!("just pushed"),
+                }
+            }
+        })
+    });
+}
+
 fn bench_all_backends(c: &mut Criterion) {
     bench_backend_push_pop::<TheDeque<u64>>(c);
     bench_backend_push_pop::<ChaseLevDeque<u64>>(c);
@@ -58,6 +109,7 @@ fn bench_all_backends(c: &mut Criterion) {
     bench_backend_steal::<TheDeque<u64>>(c);
     bench_backend_steal::<ChaseLevDeque<u64>>(c);
     bench_backend_steal::<PoolDeque<u64>>(c);
+    bench_fence_free(c);
 }
 
 fn bench_the_push_pop(c: &mut Criterion) {

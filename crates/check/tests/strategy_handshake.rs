@@ -1,0 +1,164 @@
+//! Bounded model checking of the adaptive-threshold handshake: the
+//! owner's poll → acknowledge → retune loop racing a thief's
+//! `record_steal_failure`, with the *product* `ThresholdController`
+//! (`#[path]`-included from `crates/strategy`) supplying the retune
+//! values. Exhaustive at 2 threads.
+//!
+//! The protocol under test is the one the runtime's `strategy_poll` /
+//! `special_section` pair executes: the owner is the only writer of
+//! `max_stolen_num` (a relaxed store), the thief reads it with a relaxed
+//! load inside `record_steal_failure`. The properties:
+//!
+//! * **no lost raise** — if the thief crosses the (possibly stale)
+//!   threshold and the owner never acknowledges, the flag is up at the
+//!   end of every schedule;
+//! * **single raising transition** — between acknowledgements at most
+//!   one `record_steal_failure` call reports the lowered→raised edge,
+//!   no matter how the retune store interleaves with the failure loads;
+//! * **bounded threshold** — every value the owner publishes stays in
+//!   `[lo, hi]` of the controller, so a thief can never observe a
+//!   threshold of 0 (which would make the strict `>` unsatisfiable-free
+//!   and fire `need_task` on the first failure forever).
+
+use adaptivetc_check::controller::ThresholdController;
+use adaptivetc_check::signal::NeedTask;
+use adaptivetc_check::sync::{AtomicU32, Ordering};
+use adaptivetc_check::{explore, Config};
+use std::sync::Arc;
+
+/// Owner acknowledges and retunes while a thief records three failures
+/// against an initial threshold of 1: in every interleaving the flag's
+/// raising edge is reported exactly once per acknowledgement window, and
+/// a post-ack failure burst must re-raise against the *retuned* (higher)
+/// threshold or not at all.
+#[test]
+fn ack_retune_vs_failure_burst() {
+    let report = explore(Config::with_preemption_bound(2), || {
+        let sig = Arc::new(NeedTask::new(1));
+        let raises = Arc::new(AtomicU32::new(0));
+        let thief = {
+            let (sig, raises) = (Arc::clone(&sig), Arc::clone(&raises));
+            shim_sync::thread::spawn(move || {
+                for _ in 0..3 {
+                    if sig.record_steal_failure() {
+                        raises.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+
+        // The owner's side of the runtime's special_section: poll, and on
+        // a raised flag acknowledge + back the threshold off through the
+        // product controller.
+        let mut ctl = ThresholdController::new(1);
+        let mut acks = 0u32;
+        for _ in 0..4 {
+            if sig.needs_task() {
+                sig.acknowledge();
+                acks += 1;
+                if let Some(t) = ctl.on_ack() {
+                    assert!(
+                        t >= ctl.lo() && t <= ctl.hi(),
+                        "published threshold {t} escaped [{}, {}]",
+                        ctl.lo(),
+                        ctl.hi()
+                    );
+                    assert!(t >= 1, "a zero threshold would always re-fire");
+                    sig.set_threshold(t);
+                }
+            }
+        }
+        thief.join().unwrap();
+
+        let raised = raises.load(Ordering::Relaxed);
+        // One raising edge per acknowledgement window: the swap in
+        // record_steal_failure gives the edge to exactly one failure, and
+        // only an acknowledge can re-arm it.
+        assert!(
+            raised <= acks + 1,
+            "{raised} raising edges across {acks} acknowledgements"
+        );
+        if acks == 0 {
+            // No lost raise: 3 failures strictly exceed every threshold
+            // the un-retuned signal can hold (1), so with no acknowledge
+            // the flag must be up and the edge reported exactly once.
+            assert!(sig.needs_task(), "threshold crossed but need_task lost");
+            assert_eq!(raised, 1, "unacknowledged window reported {raised} edges");
+        }
+        // The owner is the only writer: whatever the interleaving, the
+        // final threshold is one the controller published (or the base).
+        let t = sig.max_stolen_num();
+        assert!(
+            t == 1 || (t >= ctl.lo() && t <= ctl.hi()),
+            "final threshold {t} was never published"
+        );
+    });
+    assert!(report.complete, "handshake space not exhausted: {report:?}");
+    println!("strategy_handshake::ack_retune_vs_failure_burst: {report:?}");
+}
+
+/// A retune racing a failure can shift *when* the flag rises but never
+/// loses the rise: with the threshold raised from 1 to 2 concurrently
+/// with three failures, every schedule ends raised (3 > 2 > 1) even if
+/// the thief read either value.
+#[test]
+fn retune_never_loses_the_rise() {
+    let report = explore(Config::with_preemption_bound(2), || {
+        let sig = Arc::new(NeedTask::new(1));
+        let thief = {
+            let sig = Arc::clone(&sig);
+            shim_sync::thread::spawn(move || {
+                sig.record_steal_failure();
+                sig.record_steal_failure();
+                sig.record_steal_failure();
+            })
+        };
+        // Owner retunes mid-burst without acknowledging (no poll saw the
+        // flag yet): the store races all three threshold loads.
+        let mut ctl = ThresholdController::new(1);
+        let t = ctl.on_ack().expect("first back-off moves 1 -> 2");
+        sig.set_threshold(t);
+        thief.join().unwrap();
+        assert!(
+            sig.needs_task(),
+            "three failures exceed both the old (1) and new (2) threshold"
+        );
+        assert_eq!(sig.stolen_num(), 3);
+    });
+    assert!(report.complete, "space not exhausted: {report:?}");
+}
+
+/// Sustained quiet decays the controller below its base, and the decayed
+/// floor it publishes still keeps the strict threshold satisfiable: the
+/// single-failure no-false-positive guarantee survives retuning to `lo`.
+#[test]
+fn decayed_floor_keeps_strict_threshold() {
+    let report = explore(Config::with_preemption_bound(2), || {
+        // The decay walk itself is pure owner-local state — run it to the
+        // floor outside any race, then race the published floor.
+        let mut ctl = ThresholdController::new(2);
+        let mut floor = ctl.current();
+        loop {
+            match ctl.on_quiet_poll() {
+                Some(t) => floor = t,
+                None if ctl.current() <= ctl.lo() => break,
+                None => {}
+            }
+        }
+        assert_eq!(floor, 1, "base 2 decays to lo = 1");
+
+        let sig = Arc::new(NeedTask::new(2));
+        sig.set_threshold(floor);
+        let thief = {
+            let sig = Arc::clone(&sig);
+            shim_sync::thread::spawn(move || sig.record_steal_failure())
+        };
+        let polled = sig.needs_task();
+        let raised = thief.join().unwrap();
+        assert!(
+            !raised && !polled && !sig.needs_task(),
+            "one failure must not exceed the strict floor of 1"
+        );
+    });
+    assert!(report.complete, "space not exhausted: {report:?}");
+}

@@ -159,6 +159,103 @@ impl VictimPolicy {
     ];
 }
 
+/// When a spawn becomes a real (stealable) task instead of an inlined
+/// fake-task frame.
+///
+/// Under `Mode::Adaptive` this selects the task-creation strategy; the
+/// Cilk baselines ignore it (they create a task at every spawn, exactly
+/// as they ignore the victim and workspace policies). The fixed-cut-off
+/// baseline modes always behave like [`CreationPolicy::Static`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CreationPolicy {
+    /// `depth < cutoff`, constant for the whole run: the Figure 9
+    /// fixed-cut-off frontier. No `need_task` response, no fast_2
+    /// doubling — what you set is what you get.
+    Static,
+    /// Depth plus own-deque occupancy: `depth < cutoff`, extended to
+    /// `depth < 2 × cutoff` while the worker's own deque is nearly
+    /// empty. A cheap feedback rule with no cross-worker signals.
+    Hybrid,
+    /// The paper's adaptive strategy (fake tasks polling `need_task`,
+    /// special-task re-entry, fast_2 doubling), with the effective
+    /// cut-off additionally auto-tuned per worker by the online
+    /// controller (`adaptivetc-strategy`) — the default.
+    #[default]
+    Adaptive,
+}
+
+impl CreationPolicy {
+    /// Short name for reports and benchmark labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CreationPolicy::Static => "static",
+            CreationPolicy::Hybrid => "hybrid",
+            CreationPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// All policies, for ablation sweeps.
+    pub const ALL: [CreationPolicy; 3] = [
+        CreationPolicy::Static,
+        CreationPolicy::Hybrid,
+        CreationPolicy::Adaptive,
+    ];
+}
+
+/// How much work a successful steal extracts from the victim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExtractionPolicy {
+    /// Take the single oldest entry — the paper's scheme and the
+    /// default.
+    #[default]
+    StealOne,
+    /// Take up to half of the victim's visible backlog in one visit
+    /// (bounded multi-pop through `WsDeque::steal_many`); the thief runs
+    /// the extra loot before probing new victims.
+    StealHalf,
+}
+
+impl ExtractionPolicy {
+    /// Short name for reports and benchmark labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExtractionPolicy::StealOne => "steal-one",
+            ExtractionPolicy::StealHalf => "steal-half",
+        }
+    }
+
+    /// All policies, for ablation sweeps.
+    pub const ALL: [ExtractionPolicy; 2] =
+        [ExtractionPolicy::StealOne, ExtractionPolicy::StealHalf];
+}
+
+/// How the `need_task` trigger threshold behaves over the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ThresholdPolicy {
+    /// [`Config::max_stolen_num`] for the whole run — the paper's
+    /// fixed threshold and the default.
+    #[default]
+    Fixed,
+    /// Each owner retunes its own trigger from live special-task
+    /// pressure: frequent acknowledgements raise the threshold (serving
+    /// is thrashing), quiet stretches decay it back toward the
+    /// configured base. Bounded to `[max(1, base/2), base × 8]`.
+    Adaptive,
+}
+
+impl ThresholdPolicy {
+    /// Short name for reports and benchmark labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ThresholdPolicy::Fixed => "fixed",
+            ThresholdPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// All policies, for ablation sweeps.
+    pub const ALL: [ThresholdPolicy; 2] = [ThresholdPolicy::Fixed, ThresholdPolicy::Adaptive];
+}
+
 /// Configuration shared by all schedulers.
 ///
 /// Use the builder-style setters; [`Config::validate`] is called by the
@@ -198,6 +295,14 @@ pub struct Config {
     pub workspace: WorkspacePolicy,
     /// How thieves pick their victims.
     pub victim: VictimPolicy,
+    /// When a spawn becomes a real task under `Mode::Adaptive` (the
+    /// Cilk baselines ignore this, like `victim` and `workspace`).
+    pub creation: CreationPolicy,
+    /// How much work a successful steal extracts.
+    pub extraction: ExtractionPolicy,
+    /// Whether the `need_task` trigger threshold is fixed at
+    /// `max_stolen_num` or retuned online per owner.
+    pub threshold: ThresholdPolicy,
     /// Seed for all scheduler-internal randomness.
     pub seed: u64,
     /// Measure per-activity times (adds instrumentation overhead to the
@@ -239,6 +344,9 @@ impl Config {
             backend: DequeBackend::The,
             workspace: WorkspacePolicy::CopyOnSteal,
             victim: VictimPolicy::Uniform,
+            creation: CreationPolicy::Adaptive,
+            extraction: ExtractionPolicy::StealOne,
+            threshold: ThresholdPolicy::Fixed,
             seed: 0x5EED,
             timing: false,
             trace: false,
@@ -281,6 +389,24 @@ impl Config {
     /// Set the victim-selection policy.
     pub fn victim(mut self, victim: VictimPolicy) -> Self {
         self.victim = victim;
+        self
+    }
+
+    /// Set the task-creation policy.
+    pub fn creation(mut self, creation: CreationPolicy) -> Self {
+        self.creation = creation;
+        self
+    }
+
+    /// Set the steal-extraction policy.
+    pub fn extraction(mut self, extraction: ExtractionPolicy) -> Self {
+        self.extraction = extraction;
+        self
+    }
+
+    /// Set the `need_task` threshold policy.
+    pub fn threshold(mut self, threshold: ThresholdPolicy) -> Self {
+        self.threshold = threshold;
         self
     }
 
@@ -403,6 +529,9 @@ mod tests {
             .backend(DequeBackend::ChaseLev)
             .workspace(WorkspacePolicy::EagerCopy)
             .victim(VictimPolicy::BestOfTwo)
+            .creation(CreationPolicy::Hybrid)
+            .extraction(ExtractionPolicy::StealHalf)
+            .threshold(ThresholdPolicy::Adaptive)
             .seed(77)
             .timing(true)
             .trace(true)
@@ -415,6 +544,9 @@ mod tests {
         assert_eq!(cfg.backend, DequeBackend::ChaseLev);
         assert_eq!(cfg.workspace, WorkspacePolicy::EagerCopy);
         assert_eq!(cfg.victim, VictimPolicy::BestOfTwo);
+        assert_eq!(cfg.creation, CreationPolicy::Hybrid);
+        assert_eq!(cfg.extraction, ExtractionPolicy::StealHalf);
+        assert_eq!(cfg.threshold, ThresholdPolicy::Adaptive);
         assert_eq!(cfg.seed, 77);
         assert!(cfg.timing);
         assert!(cfg.trace);
@@ -506,5 +638,16 @@ mod tests {
         axis(&DequeBackend::ALL, DequeBackend::name);
         axis(&WorkspacePolicy::ALL, WorkspacePolicy::name);
         axis(&VictimPolicy::ALL, VictimPolicy::name);
+        axis(&CreationPolicy::ALL, CreationPolicy::name);
+        axis(&ExtractionPolicy::ALL, ExtractionPolicy::name);
+        axis(&ThresholdPolicy::ALL, ThresholdPolicy::name);
+    }
+
+    #[test]
+    fn strategy_defaults_preserve_the_paper_policy() {
+        let cfg = Config::new(4);
+        assert_eq!(cfg.creation, CreationPolicy::Adaptive);
+        assert_eq!(cfg.extraction, ExtractionPolicy::StealOne);
+        assert_eq!(cfg.threshold, ThresholdPolicy::Fixed);
     }
 }

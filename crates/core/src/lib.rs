@@ -65,7 +65,10 @@ pub mod serial;
 pub mod stats;
 pub mod treeinfo;
 
-pub use config::{Config, CutoffPolicy, DequeBackend, VictimPolicy, WorkspacePolicy};
+pub use config::{
+    Config, CreationPolicy, CutoffPolicy, DequeBackend, ExtractionPolicy, ThresholdPolicy,
+    VictimPolicy, WorkspacePolicy,
+};
 pub use error::{ConfigError, SchedulerError};
 pub use problem::{Expansion, Problem};
 pub use reduce::Reduce;

@@ -129,6 +129,13 @@ pub struct RunStats {
     pub polls: u64,
     /// Tasks suspended at a synchronization point.
     pub suspensions: u64,
+    /// Online retunes of a worker's effective task-creation cut-off
+    /// (`CreationPolicy::Adaptive`'s controller; zero when the cut-off
+    /// never moved).
+    pub cutoff_adjustments: u64,
+    /// Online retunes of an owner's `need_task` trigger threshold
+    /// (`ThresholdPolicy::Adaptive`; zero under the fixed threshold).
+    pub threshold_adjustments: u64,
     /// Peak d-e-que occupancy observed.
     pub deque_peak: u64,
     /// d-e-que overflow events (fixed-capacity deques only).
@@ -163,6 +170,8 @@ impl RunStats {
         self.steal_backoffs += other.steal_backoffs;
         self.polls += other.polls;
         self.suspensions += other.suspensions;
+        self.cutoff_adjustments += other.cutoff_adjustments;
+        self.threshold_adjustments += other.threshold_adjustments;
         self.deque_peak = self.deque_peak.max(other.deque_peak);
         self.deque_overflows += other.deque_overflows;
         self.time.merge(&other.time);
@@ -310,6 +319,8 @@ mod tests {
             steal_backoffs: 1,
             polls: 1,
             suspensions: 1,
+            cutoff_adjustments: 1,
+            threshold_adjustments: 1,
             deque_peak: 1,
             deque_overflows: 1,
             time: TimeBreakdown {
@@ -345,6 +356,8 @@ mod tests {
         expect(merged.steal_backoffs, "steal_backoffs");
         expect(merged.polls, "polls");
         expect(merged.suspensions, "suspensions");
+        expect(merged.cutoff_adjustments, "cutoff_adjustments");
+        expect(merged.threshold_adjustments, "threshold_adjustments");
         expect(merged.deque_overflows, "deque_overflows");
         assert_eq!(merged.time.total_ns(), 12, "time categories not merged");
         assert_eq!(merged.deque_peak, 1, "deque_peak must merge with max");

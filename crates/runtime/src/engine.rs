@@ -91,6 +91,7 @@ use adaptivetc_core::{
 use adaptivetc_deque::{
     ChaseLevDeque, FenceFreeDeque, NeedTask, PoolDeque, PopSpecial, StealOutcome, TheDeque, WsDeque,
 };
+use adaptivetc_strategy::{WorkerStrategy, HARD_STEAL_STREAK};
 #[cfg(feature = "trace")]
 use adaptivetc_trace::{EventKind as Ev, FsmState as Fs};
 use crossbeam_utils::CachePadded;
@@ -265,6 +266,12 @@ pub(crate) struct Shared<'p, P: Problem, D> {
     pub(crate) root: Arc<OutCell<P::Out>>,
     mode: Mode,
     cutoff: u32,
+    /// Prototype strategy bundle each worker clones privately. Built
+    /// from the config's strategy axes only under [`Mode::Adaptive`];
+    /// every other mode pins the paper-default baseline so the
+    /// Cilk/cutoff comparison arms are never perturbed by strategy
+    /// overrides.
+    strategy: WorkerStrategy,
     victim: VictimPolicy,
     /// Copy-on-steal active (policy says so and the mode is not a
     /// faithful eager-copy Cilk baseline).
@@ -297,6 +304,12 @@ impl<'p, P: Problem, D> Shared<'p, P, D> {
     {
         let cos = cfg.workspace == WorkspacePolicy::CopyOnSteal
             && !matches!(mode, Mode::Cilk | Mode::CilkSynched);
+        let cutoff = cfg.cutoff_depth().max(1);
+        let strategy = if matches!(mode, Mode::Adaptive) {
+            WorkerStrategy::from_config(cfg, cutoff)
+        } else {
+            WorkerStrategy::baseline(cutoff, cfg.max_stolen_num)
+        };
         Shared {
             problem,
             deques: (0..slots)
@@ -313,7 +326,8 @@ impl<'p, P: Problem, D> Shared<'p, P, D> {
                 .collect(),
             root: OutCell::new(),
             mode,
-            cutoff: cfg.cutoff_depth().max(1),
+            cutoff,
+            strategy,
             victim: cfg.victim,
             cos,
             timing: cfg.timing,
@@ -369,6 +383,12 @@ pub(crate) struct Worker<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> {
     id: usize,
     stats: RunStats,
     rng: XorShift64,
+    /// This worker's private strategy state (cloned from the shared
+    /// prototype): creation cutoff controller, extraction batch rule,
+    /// threshold controller. Mutating it never touches shared memory —
+    /// publishing a threshold retune is one relaxed store into this
+    /// worker's own `NeedTask` signal.
+    strategy: WorkerStrategy,
     /// Recycled workspace buffers (all copying modes except `Cilk`).
     freelist: Pool<P::State>,
     /// Recycled frame shells whose `Arc` became unique after a synchronous
@@ -399,6 +419,7 @@ pub(crate) struct Worker<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> {
 impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D> {
     fn new(shared: &'s Shared<'p, P, D>, id: usize, rng: XorShift64, tr: WorkerTracer<'s>) -> Self {
         Worker {
+            strategy: shared.strategy.clone(),
             shared,
             id,
             stats: RunStats::default(),
@@ -631,8 +652,15 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         match self.shared.mode {
             Mode::Cilk | Mode::CilkSynched => true,
             Mode::CutoffSequence | Mode::CutoffCopy => tdepth < self.shared.cutoff,
+            // The creation policy: with the default adaptive policy at
+            // rest this is exactly `fsm::task_mode` on the base cutoff;
+            // under pressure the worker's controller may have raised it.
             Mode::Adaptive => {
-                fsm::task_mode(tdepth, self.shared.cutoff, matches!(regime, Regime::Fast2))
+                self.strategy
+                    .creation
+                    .real_task(tdepth, matches!(regime, Regime::Fast2), || {
+                        self.my_deque().len()
+                    })
             }
         }
     }
@@ -1139,6 +1167,38 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         acc
     }
 
+    /// Close the strategy feedback loops at a `need_task` poll. Every
+    /// input is a value this worker already owns or reads relaxed on the
+    /// existing poll path — no new fences. A pressured poll is a raise
+    /// signal for the cutoff controller; a calm poll feeds both decay
+    /// loops (the occupancy read happens only while the cutoff is
+    /// actually boosted). Threshold retunes publish with one relaxed
+    /// store into this worker's own signal.
+    fn strategy_poll(&mut self, pressured: bool) {
+        let shared = self.shared;
+        let id = self.id;
+        if pressured {
+            if let Some(eff) = self.strategy.creation.on_pressure() {
+                self.stats.cutoff_adjustments += 1;
+                tev!(self, Strategy, Ev::CutoffTune { eff, up: true });
+            }
+        } else {
+            if let Some(eff) = self
+                .strategy
+                .creation
+                .on_calm_poll(|| shared.deques[id].len())
+            {
+                self.stats.cutoff_adjustments += 1;
+                tev!(self, Strategy, Ev::CutoffTune { eff, up: false });
+            }
+            if let Some(threshold) = self.strategy.threshold.retune_on_quiet() {
+                shared.signals[id].set_threshold(threshold);
+                self.stats.threshold_adjustments += 1;
+                tev!(self, Strategy, Ev::ThresholdTune { threshold });
+            }
+        }
+    }
+
     /// The check version: fake tasks that poll `need_task` once per node and
     /// transition through a special task when another thread is starving
     /// (Appendix C: the `!need_task` branch recurses into the check version
@@ -1153,7 +1213,13 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
             // The need_task poll doubles as the cancellation poll.
             return P::Out::identity();
         }
-        if fsm::after_poll(self.my_signal().needs_task()) == fsm::Version::Check {
+        let pressured = self.my_signal().needs_task();
+        self.strategy_poll(pressured);
+        // Only a creation policy that responds to `need_task` diverts a
+        // raised poll into the special transition; the static and hybrid
+        // arms stay in the check version regardless.
+        let respond = pressured && self.strategy.creation.responds_to_need_task();
+        if fsm::after_poll(respond) == fsm::Version::Check {
             self.stats.fake_tasks += 1;
             tev!(self, Fake, Ev::FakeTask { depth: logical });
             let mut acc = P::Out::identity();
@@ -1200,6 +1266,13 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         tev!(self, Special, Ev::SpecialBegin { depth: logical });
         self.my_signal().acknowledge();
         tev!(self, Signal, Ev::NeedTaskAck);
+        // Adaptive threshold back-off: the burst this special is about to
+        // spawn should not immediately re-trigger another special.
+        if let Some(threshold) = self.strategy.threshold.retune_on_ack() {
+            self.my_signal().set_threshold(threshold);
+            self.stats.threshold_adjustments += 1;
+            tev!(self, Strategy, Ev::ThresholdTune { threshold });
+        }
         if self.cos() {
             self.seal_region(state);
         }
@@ -1381,6 +1454,14 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
         let mut backoff = 0u32;
         let mut last_victim: Option<usize> = None;
         let mut last_empty: Option<usize> = None;
+        // Consecutive failed probes since the last success: a steal that
+        // lands only after a long streak is a task-scarcity signal for
+        // the cutoff controller.
+        let mut fail_streak = 0u32;
+        // Extra frames a steal-half probe looted beyond the first. Always
+        // empty at the loop head (drained inside the success arm), so the
+        // abandon and root-done exits never strand claimed work.
+        let mut loot: Vec<Arc<Frame<P>>> = Vec::new();
         while !self.shared.root.is_done() {
             let victim = self.pick_victim(n, last_victim, last_empty);
             tev!(
@@ -1417,13 +1498,71 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                             victim: victim as u32
                         }
                     );
+                    if fail_streak >= HARD_STEAL_STREAK {
+                        if let Some(eff) = self.strategy.creation.on_hard_steal() {
+                            self.stats.cutoff_adjustments += 1;
+                            tev!(self, Strategy, Ev::CutoffTune { eff, up: true });
+                        }
+                    }
+                    fail_streak = 0;
                     backoff = 0;
                     last_victim = Some(victim);
                     last_empty = None;
                     lap(&mut self.stats.time.steal_wait_ns, idle_since.take());
+                    // Steal-half extraction: the first frame paid for the
+                    // probe; loot up to `batch − 1` more from the same
+                    // victim before running anything. A dry victim simply
+                    // ends the loot round — no failure is recorded and no
+                    // signal touched, the probe as a whole succeeded.
+                    if !self.strategy.extraction.is_unit() {
+                        let batch = self
+                            .strategy
+                            .extraction
+                            .batch(self.shared.occupancy[victim].load(Ordering::Relaxed));
+                        while loot.len() + 1 < batch {
+                            tev!(
+                                self,
+                                Steal,
+                                Ev::StealAttempt {
+                                    victim: victim as u32,
+                                }
+                            );
+                            match self.shared.deques[victim].steal() {
+                                StealOutcome::Stolen(entry) => match entry.claim() {
+                                    Some(f) => {
+                                        self.shared.signals[victim].record_steal_success();
+                                        self.stats.steals_ok += 1;
+                                        tev!(
+                                            self,
+                                            Steal,
+                                            Ev::StealOk {
+                                                victim: victim as u32
+                                            }
+                                        );
+                                        loot.push(f);
+                                    }
+                                    None => {
+                                        self.stats.dup_extractions += 1;
+                                        tev!(
+                                            self,
+                                            Steal,
+                                            Ev::StealDup {
+                                                victim: victim as u32
+                                            }
+                                        );
+                                    }
+                                },
+                                StealOutcome::Empty => break,
+                            }
+                        }
+                    }
                     // The slow version: resume the stolen continuation under
-                    // fast/check rules.
+                    // fast/check rules, then drain the loot (newest first —
+                    // the deepest frames, closest to this thief's cache).
                     self.run_stolen(frame);
+                    while let Some(f) = loot.pop() {
+                        self.run_stolen(f);
+                    }
                     idle_since = now_if(self.shared.timing);
                 }
                 StealOutcome::Empty => {
@@ -1445,6 +1584,7 @@ impl<'s, 'p, P: Problem, E: DequeEntry<P>, D: WsDeque<E>> Worker<'s, 'p, P, E, D
                             victim: victim as u32
                         }
                     );
+                    fail_streak = fail_streak.saturating_add(1);
                     if last_victim == Some(victim) {
                         last_victim = None; // the affinity victim ran dry
                     }

@@ -773,6 +773,33 @@ impl JobServer {
         }
     }
 
+    /// Drain every event the pool's workers have *published* so far into
+    /// a point-in-time [`Trace`](adaptivetc_trace::Trace) snapshot,
+    /// without stopping (or even pausing) the pool. Wait-free for the
+    /// workers; concurrent drains are serialised inside the collector,
+    /// and events handed out here never reappear in a later drain or in
+    /// the final [`shutdown`](JobServer::shutdown) trace. Returns `None`
+    /// when the server was built without [`ServerConfig::trace`].
+    ///
+    /// Use [`published_len`](JobServer::published_len) to size
+    /// expectations: a drain returns at least the events a worker had
+    /// published before the call began (minus at most one in-flight
+    /// block near ring overflow).
+    #[cfg(feature = "trace")]
+    pub fn drain_trace(&self) -> Option<adaptivetc_trace::Trace> {
+        self.collector.as_deref().map(|c| c.drain_published())
+    }
+
+    /// Events `worker` has published and not yet drained — a lower bound
+    /// (up to one in-flight block) on what the next
+    /// [`drain_trace`](JobServer::drain_trace) returns for that ring.
+    /// `None` without tracing or for an out-of-range worker id.
+    #[cfg(feature = "trace")]
+    pub fn published_len(&self, worker: usize) -> Option<usize> {
+        let c = self.collector.as_deref()?;
+        (worker < self.ctx.workers).then(|| c.published_len(worker))
+    }
+
     /// Stop accepting submissions, run every already-queued job to its
     /// terminal state, join the pool, and return the final report (with
     /// the drained trace when tracing was on).
@@ -1294,5 +1321,77 @@ mod tests {
         a.wait();
         b.wait();
         server.shutdown();
+    }
+
+    /// Drain the trace from a live server — pool running, its only worker
+    /// blocked mid-job — and check the snapshot against `published_len`,
+    /// then that the mid-run drain and the shutdown trace partition the
+    /// job markers with no loss and no duplication.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn drain_trace_mid_run_without_stopping_the_pool() {
+        use adaptivetc_trace::EventKind;
+
+        let count_ends = |t: &adaptivetc_trace::Trace| {
+            t.workers
+                .iter()
+                .flat_map(|w| &w.events)
+                .filter(|e| matches!(e.kind, EventKind::JobEnd { .. }))
+                .count()
+        };
+
+        let server = JobServer::new(ServerConfig::new(1).trace(true));
+        // Three completed jobs, big enough that whole event blocks are
+        // published (only full blocks are visible mid-run).
+        for _ in 0..3 {
+            let h = server
+                .submit(
+                    Tern { h: 8 },
+                    Config::new(1),
+                    Mode::Adaptive,
+                    Priority::Normal,
+                )
+                .expect("submit");
+            assert!(matches!(h.wait(), JobOutcome::Completed { .. }));
+        }
+        // A gated job pins the pool's only worker mid-run: the server is
+        // demonstrably live (not quiesced) while we read.
+        let (gated, gate) = occupy_worker(&server);
+
+        let announced = server.published_len(0).expect("tracing is on");
+        assert!(
+            announced > 0,
+            "three completed jobs must have published whole blocks"
+        );
+        let snap = server.drain_trace().expect("tracing is on");
+        assert!(
+            snap.len() >= announced,
+            "drain returned {} events, {announced} were announced published",
+            snap.len()
+        );
+        let after = server.published_len(0).expect("tracing is on");
+        assert!(
+            after < announced,
+            "drain must consume the published events it returned"
+        );
+        let ends_mid = count_ends(&snap);
+        assert!(ends_mid <= 3, "only three jobs have ended");
+
+        gate.store(true, Ordering::Release);
+        assert!(matches!(gated.wait(), JobOutcome::Completed { .. }));
+        let report = server.shutdown();
+        let final_trace = report.trace.expect("tracing is on");
+        // Partition: every job's end marker lands in exactly one of the
+        // two traces — the mid-run drain lost nothing and the shutdown
+        // trace repeats nothing.
+        assert_eq!(
+            ends_mid + count_ends(&final_trace),
+            4,
+            "mid-run drain and shutdown trace must partition the 4 job-end markers"
+        );
+        assert!(
+            !final_trace.workers.is_empty(),
+            "shutdown trace still reports every worker ring"
+        );
     }
 }

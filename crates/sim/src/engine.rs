@@ -13,6 +13,7 @@ use crate::cost::CostModel;
 use crate::trace::{sev, SimTracer};
 use crate::tree::SimTree;
 use adaptivetc_core::{Config, RunReport, RunStats, WorkspacePolicy, XorShift64};
+use adaptivetc_strategy::{WorkerStrategy, HARD_STEAL_STREAK};
 #[cfg(feature = "trace")]
 use adaptivetc_trace::EventKind as Ev;
 use std::cell::RefCell;
@@ -182,6 +183,14 @@ struct WorkerSim {
     deque: VecDeque<DqEntry>,
     stolen_num: u32,
     need_task: bool,
+    /// This worker's `need_task` threshold; the adaptive threshold
+    /// policy retunes it mid-run (mirrors `NeedTask::set_threshold`).
+    max_stolen: u32,
+    /// Worker-private strategy state, mirroring the threaded engine's
+    /// per-worker bundle clone.
+    strategy: WorkerStrategy,
+    /// Consecutive failed steal probes since this worker's last success.
+    fail_streak: u32,
     stats: RunStats,
     rng: XorShift64,
     state: WState,
@@ -211,7 +220,6 @@ pub(crate) struct Sim<'t> {
     /// pop charge depends on whether the backend fences its pop fast path
     /// (see [`CostModel::pop_ns`]).
     backend: adaptivetc_core::DequeBackend,
-    max_stolen: u32,
     workers: Vec<WorkerSim>,
     heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>, // (time, seq, wid, epoch)
     seq: u64,
@@ -237,12 +245,22 @@ impl<'t> Sim<'t> {
             Policy::CutoffProgrammer(d) => d.max(1),
             _ => cfg.cutoff_depth().max(1),
         };
+        // Strategy overrides parameterise the AdaptiveTC policy only;
+        // every comparison arm pins the paper-default baseline.
+        let strategy = if matches!(policy, Policy::AdaptiveTc) {
+            WorkerStrategy::from_config(cfg, cutoff)
+        } else {
+            WorkerStrategy::baseline(cutoff, cfg.max_stolen_num)
+        };
         let workers = (0..cfg.threads)
             .map(|_| WorkerSim {
                 stack: Vec::new(),
                 deque: VecDeque::new(),
                 stolen_num: 0,
                 need_task: false,
+                max_stolen: cfg.max_stolen_num,
+                strategy: strategy.clone(),
+                fail_streak: 0,
                 stats: RunStats::default(),
                 rng: seeder.split(),
                 state: WState::Active,
@@ -265,7 +283,6 @@ impl<'t> Sim<'t> {
             cutoff,
             cos,
             backend: cfg.backend,
-            max_stolen: cfg.max_stolen_num,
             workers,
             heap: BinaryHeap::new(),
             seq: 0,
@@ -282,14 +299,19 @@ impl<'t> Sim<'t> {
         self.heap.push(Reverse((at, self.seq, wid, epoch)));
     }
 
-    fn task_mode(&self, tdepth: u32, regime: Regime) -> bool {
+    fn task_mode(&self, wid: usize, tdepth: u32, regime: Regime) -> bool {
         match self.policy {
             Policy::Cilk | Policy::CilkSynched => true,
             Policy::CutoffProgrammer(_) | Policy::CutoffLibrary => tdepth < self.cutoff,
-            Policy::AdaptiveTc => match regime {
-                Regime::Fast => tdepth < self.cutoff,
-                Regime::Fast2 => tdepth < self.cutoff * 2,
-            },
+            // The creation policy, mirroring the threaded engine: the
+            // default adaptive bundle at rest is exactly the fast /
+            // fast_2 cutoff pair on `self.cutoff`.
+            Policy::AdaptiveTc => {
+                let w = &self.workers[wid];
+                w.strategy
+                    .creation
+                    .real_task(tdepth, matches!(regime, Regime::Fast2), || w.deque.len())
+            }
             Policy::HelpFirst => true,
             Policy::Tascell => unreachable!("Tascell runs in its own interpreter"),
         }
@@ -412,7 +434,7 @@ impl<'t> Sim<'t> {
                     self.deliver(out, 1, wid);
                     return Flow::Pay(cost);
                 }
-                if self.task_mode(tdepth, regime) {
+                if self.task_mode(wid, tdepth, regime) {
                     let frame = Frame::new(node, tdepth, out);
                     self.workers[wid].stack.push(Entry::Loop { frame, regime });
                     return Flow::Pay(cost);
@@ -725,9 +747,35 @@ impl<'t> Sim<'t> {
         self.cost.poll_ns
     }
 
+    /// Close the strategy feedback loops at a `need_task` poll,
+    /// mirroring the threaded engine's `strategy_poll`.
+    fn strategy_poll(&mut self, wid: usize, pressured: bool) {
+        if pressured {
+            if let Some(eff) = self.workers[wid].strategy.creation.on_pressure() {
+                self.workers[wid].stats.cutoff_adjustments += 1;
+                sev!(self, wid, Ev::CutoffTune { eff, up: true });
+            }
+        } else {
+            let occ = self.workers[wid].deque.len();
+            if let Some(eff) = self.workers[wid].strategy.creation.on_calm_poll(|| occ) {
+                self.workers[wid].stats.cutoff_adjustments += 1;
+                sev!(self, wid, Ev::CutoffTune { eff, up: false });
+            }
+            if let Some(threshold) = self.workers[wid].strategy.threshold.retune_on_quiet() {
+                self.workers[wid].max_stolen = threshold;
+                self.workers[wid].stats.threshold_adjustments += 1;
+                sev!(self, wid, Ev::ThresholdTune { threshold });
+            }
+        }
+    }
+
     fn take_need_task(&mut self, wid: usize) -> bool {
-        let w = &mut self.workers[wid];
-        if w.need_task {
+        let pressured = self.workers[wid].need_task;
+        self.strategy_poll(wid, pressured);
+        // Only a creation policy that responds to need_task diverts a
+        // raised poll into the special transition.
+        if pressured && self.workers[wid].strategy.creation.responds_to_need_task() {
+            let w = &mut self.workers[wid];
             w.need_task = false;
             w.stolen_num = 0;
             true
@@ -741,6 +789,13 @@ impl<'t> Sim<'t> {
         sev!(self, wid, Ev::SpecialBegin { depth });
         #[cfg(not(feature = "trace"))]
         let _ = depth;
+        // Adaptive threshold back-off on the acknowledge, mirroring the
+        // threaded engine's special section.
+        if let Some(threshold) = self.workers[wid].strategy.threshold.retune_on_ack() {
+            self.workers[wid].max_stolen = threshold;
+            self.workers[wid].stats.threshold_adjustments += 1;
+            sev!(self, wid, Ev::ThresholdTune { threshold });
+        }
         let sframe = Frame::new(node, 0, Deliver::Wake(wid));
         self.workers[wid].stack.push(Entry::SpecialLoop {
             node,
@@ -840,6 +895,13 @@ impl<'t> Sim<'t> {
                         victim: victim as u32
                     }
                 );
+                if self.workers[wid].fail_streak >= HARD_STEAL_STREAK {
+                    if let Some(eff) = self.workers[wid].strategy.creation.on_hard_steal() {
+                        self.workers[wid].stats.cutoff_adjustments += 1;
+                        sev!(self, wid, Ev::CutoffTune { eff, up: true });
+                    }
+                }
+                self.workers[wid].fail_streak = 0;
                 let mut cost = self.cost.steal_ns;
                 match booty {
                     // The slow version resumes under fast/check rules.
@@ -848,6 +910,48 @@ impl<'t> Sim<'t> {
                             // Copy-on-steal: the deferred workspace clone
                             // is materialised for the thief now.
                             cost += self.charge_copy(wid, self.tree.bytes(frame.node));
+                        }
+                        // Steal-half extraction: loot up to `batch − 1`
+                        // more plain task entries from the same victim's
+                        // top. Looted frames go under the primary frame on
+                        // the stack, so the thief runs the primary first,
+                        // then the loot newest-first — the threaded
+                        // engine's drain order.
+                        if !self.workers[wid].strategy.extraction.is_unit() {
+                            let batch = self.workers[wid]
+                                .strategy
+                                .extraction
+                                .batch(self.workers[victim].deque.len());
+                            let mut looted = 0usize;
+                            while looted + 1 < batch {
+                                match self.workers[victim].deque.front() {
+                                    Some(DqEntry::Task(_)) => {
+                                        let Some(DqEntry::Task(f)) =
+                                            self.workers[victim].deque.pop_front()
+                                        else {
+                                            unreachable!("just matched")
+                                        };
+                                        looted += 1;
+                                        cost += self.cost.steal_ns;
+                                        self.workers[wid].stats.steals_ok += 1;
+                                        sev!(
+                                            self,
+                                            wid,
+                                            Ev::StealOk {
+                                                victim: victim as u32
+                                            }
+                                        );
+                                        if self.cos {
+                                            cost += self.charge_copy(wid, self.tree.bytes(f.node));
+                                        }
+                                        self.workers[wid].stack.push(Entry::Loop {
+                                            frame: f,
+                                            regime: Regime::Fast,
+                                        });
+                                    }
+                                    _ => break,
+                                }
+                            }
                         }
                         self.workers[wid].stack.push(Entry::Loop {
                             frame,
@@ -870,10 +974,11 @@ impl<'t> Sim<'t> {
                 {
                     let v = &mut self.workers[victim];
                     v.stolen_num += 1;
-                    if v.stolen_num > self.max_stolen {
+                    if v.stolen_num > v.max_stolen {
                         v.need_task = true;
                     }
                 }
+                self.workers[wid].fail_streak += 1;
                 self.workers[wid].stats.steals_failed += 1;
                 sev!(
                     self,

@@ -1,0 +1,320 @@
+//! The online controllers: pure, single-owner feedback state.
+//!
+//! Both controllers are plain structs a worker owns privately — no
+//! atomics, no shared state. Every input they consume is a value the
+//! worker already read on its existing hot path (the relaxed
+//! `need_task` poll, its own deque occupancy, its own failed-steal
+//! streak), so closing the feedback loop adds **zero** new fences or
+//! shared-memory traffic; the only cross-thread write an adjustment can
+//! cause is the owner's relaxed threshold store, which the
+//! model-checking harness in `crates/check` explores exhaustively
+//! (`#[path]`-including this file, so the model and the product run the
+//! same transition code).
+//!
+//! # The cutoff rule and why it is stable
+//!
+//! The effective cutoff is `base + boost` with
+//! `boost ∈ [0, MAX_BOOST]` (additive-increase/additive-decrease):
+//!
+//! * **Increase** (+1) on each observed pressure edge — a raised
+//!   `need_task` at a poll, or a steal this worker completed only after
+//!   a long failed streak. Both mean thieves are starving: a deeper
+//!   cutoff makes the next subtree publish more stealable tasks.
+//! * **Decrease** (−1, toward `base`) after [`DECAY_PERIOD`]
+//!   consecutive calm polls with own-deque occupancy at or above
+//!   [`COMFORT_OCCUPANCY`]. Calm + a stocked deque means the extra
+//!   tasks are no longer needed and their copy overhead can be shed.
+//!
+//! Bounded state, one-step moves, and opposing signals that cannot fire
+//! on the same poll (a poll is either pressured or calm) give the loop
+//! a standard AIAD stability argument: under sustained pressure it
+//! converges to `base + MAX_BOOST` without overshoot, under sustained
+//! calm it returns to `base` at 1/[`DECAY_PERIOD`] the rise rate, and
+//! with no thieves at all (a 1-thread run) no pressure edge ever fires,
+//! so the effective cutoff is the static `base` bit-for-bit.
+
+/// Most the adaptive cutoff may exceed its static base: deep enough to
+/// multiply the stealable frontier by up to 2^8 on binary trees, small
+/// enough that the copy overhead of a mistuned peak stays bounded.
+pub const MAX_BOOST: u32 = 8;
+
+/// Consecutive comfortable polls before one step of cutoff decay. Polls
+/// happen once per fake task, so this is ~64 sequential nodes of calm.
+pub const DECAY_PERIOD: u32 = 64;
+
+/// Own-deque occupancy at or above which a calm poll counts toward
+/// decay: with at least this many stealable entries parked, extra task
+/// creation is pure overhead.
+pub const COMFORT_OCCUPANCY: usize = 2;
+
+/// Failed-steal streak beyond which a finally-successful steal counts as
+/// a pressure edge ([`CutoffController::on_hard_steal`]): work exists
+/// but took this many probes to find, i.e. tasks are too scarce.
+pub const HARD_STEAL_STREAK: u32 = 16;
+
+/// Per-worker adaptive cutoff state. See the module docs for the rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutoffController {
+    base: u32,
+    boost: u32,
+    calm: u32,
+}
+
+impl CutoffController {
+    /// A controller resting at the static cutoff `base`.
+    pub fn new(base: u32) -> CutoffController {
+        CutoffController {
+            base,
+            boost: 0,
+            calm: 0,
+        }
+    }
+
+    /// The static cutoff this controller rests at.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The current effective cutoff, `base + boost`.
+    pub fn effective(&self) -> u32 {
+        self.base + self.boost
+    }
+
+    /// Is the cutoff currently above its base (i.e. could a calm poll
+    /// decay it)? Lets the caller skip gathering the occupancy signal
+    /// entirely while the controller rests at base.
+    pub fn boosted(&self) -> bool {
+        self.boost > 0
+    }
+
+    /// A poll observed a raised `need_task`: thieves are starving.
+    /// Returns the new effective cutoff if the adjustment moved it.
+    pub fn on_pressure(&mut self) -> Option<u32> {
+        self.calm = 0;
+        if self.boost < MAX_BOOST {
+            self.boost += 1;
+            Some(self.effective())
+        } else {
+            None
+        }
+    }
+
+    /// This worker's own steal succeeded only after at least
+    /// [`HARD_STEAL_STREAK`] failed probes — tasks exist but are scarce.
+    /// Same raise as [`CutoffController::on_pressure`].
+    pub fn on_hard_steal(&mut self) -> Option<u32> {
+        self.on_pressure()
+    }
+
+    /// A poll observed no pressure; `occupancy` is the worker's own
+    /// deque length at the poll. Returns the new effective cutoff if a
+    /// decay step fired.
+    pub fn on_calm_poll(&mut self, occupancy: usize) -> Option<u32> {
+        if occupancy < COMFORT_OCCUPANCY {
+            self.calm = 0;
+            return None;
+        }
+        if self.boost == 0 {
+            return None;
+        }
+        self.calm += 1;
+        if self.calm >= DECAY_PERIOD {
+            self.calm = 0;
+            self.boost -= 1;
+            Some(self.effective())
+        } else {
+            None
+        }
+    }
+}
+
+/// Consecutive quiet polls before one step of threshold decay.
+pub const THRESHOLD_QUIET_PERIOD: u32 = 64;
+
+/// Growth factor bound of the adaptive threshold: `cur ≤ base × 8`.
+pub const THRESHOLD_MAX_FACTOR: u32 = 8;
+
+/// Per-worker adaptive `need_task` threshold state.
+///
+/// The threshold (`max_stolen_num`) trades responsiveness against
+/// special-transition churn: each acknowledged `need_task` raises it by
+/// `base` (the burst that just fired should not immediately re-fire a
+/// special while the freshly spawned tasks propagate), and
+/// [`THRESHOLD_QUIET_PERIOD`] consecutive quiet polls decay it one step
+/// — past `base` down to `max(1, base/2)`, where a long-calm worker is
+/// *more* responsive than the static default to the next starvation
+/// onset. Bounds: `[max(1, base/2), base × 8]`.
+///
+/// Only the owning worker mutates this state; publishing an adjustment
+/// is one relaxed store into its own `NeedTask` signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdController {
+    base: u32,
+    cur: u32,
+    quiet: u32,
+}
+
+impl ThresholdController {
+    /// A controller resting at the static threshold `base`.
+    pub fn new(base: u32) -> ThresholdController {
+        ThresholdController {
+            base,
+            cur: base,
+            quiet: 0,
+        }
+    }
+
+    /// Lower bound, `max(1, base/2)`.
+    pub fn lo(&self) -> u32 {
+        (self.base / 2).max(1)
+    }
+
+    /// Upper bound, `base × 8`.
+    pub fn hi(&self) -> u32 {
+        self.base.saturating_mul(THRESHOLD_MAX_FACTOR)
+    }
+
+    /// The current threshold.
+    pub fn current(&self) -> u32 {
+        self.cur
+    }
+
+    /// The owner acknowledged a `need_task` (special transition): back
+    /// off so the burst in flight does not re-trigger immediately.
+    /// Returns the new threshold if the adjustment moved it.
+    pub fn on_ack(&mut self) -> Option<u32> {
+        self.quiet = 0;
+        let next = (self.cur + self.base.max(1)).min(self.hi());
+        if next != self.cur {
+            self.cur = next;
+            Some(self.cur)
+        } else {
+            None
+        }
+    }
+
+    /// A poll observed no pressure. Returns the new threshold if a decay
+    /// step fired.
+    pub fn on_quiet_poll(&mut self) -> Option<u32> {
+        if self.cur <= self.lo() {
+            return None;
+        }
+        self.quiet += 1;
+        if self.quiet >= THRESHOLD_QUIET_PERIOD {
+            self.quiet = 0;
+            self.cur -= 1;
+            Some(self.cur)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_rises_one_step_per_pressure_up_to_the_bound() {
+        let mut c = CutoffController::new(4);
+        assert_eq!(c.effective(), 4);
+        for i in 1..=MAX_BOOST {
+            assert_eq!(c.on_pressure(), Some(4 + i));
+        }
+        assert_eq!(c.on_pressure(), None, "bounded at base + MAX_BOOST");
+        assert_eq!(c.effective(), 4 + MAX_BOOST);
+    }
+
+    #[test]
+    fn cutoff_decays_only_after_a_full_comfortable_period() {
+        let mut c = CutoffController::new(4);
+        c.on_pressure();
+        c.on_pressure();
+        for _ in 0..DECAY_PERIOD - 1 {
+            assert_eq!(c.on_calm_poll(COMFORT_OCCUPANCY), None);
+        }
+        assert_eq!(c.on_calm_poll(COMFORT_OCCUPANCY), Some(5));
+        assert_eq!(c.effective(), 5);
+    }
+
+    #[test]
+    fn low_occupancy_resets_the_calm_streak() {
+        let mut c = CutoffController::new(4);
+        c.on_pressure();
+        for _ in 0..DECAY_PERIOD - 1 {
+            c.on_calm_poll(COMFORT_OCCUPANCY);
+        }
+        // An uncomfortable poll wipes the streak: decay starts over.
+        assert_eq!(c.on_calm_poll(0), None);
+        assert_eq!(c.on_calm_poll(COMFORT_OCCUPANCY), None);
+        assert_eq!(c.effective(), 5);
+    }
+
+    #[test]
+    fn pressure_resets_the_calm_streak() {
+        let mut c = CutoffController::new(4);
+        c.on_pressure();
+        for _ in 0..DECAY_PERIOD - 1 {
+            c.on_calm_poll(COMFORT_OCCUPANCY);
+        }
+        c.on_pressure();
+        assert_eq!(c.on_calm_poll(COMFORT_OCCUPANCY), None);
+    }
+
+    #[test]
+    fn cutoff_never_decays_below_base() {
+        let mut c = CutoffController::new(4);
+        for _ in 0..10 * DECAY_PERIOD {
+            assert_eq!(c.on_calm_poll(usize::MAX), None);
+        }
+        assert_eq!(c.effective(), 4);
+    }
+
+    #[test]
+    fn no_pressure_means_exactly_the_static_cutoff() {
+        // The 1-thread guarantee: with no thief to raise need_task or
+        // fail steals, the effective cutoff is the base, always.
+        let mut c = CutoffController::new(7);
+        for occ in 0..1000 {
+            c.on_calm_poll(occ % 5);
+            assert_eq!(c.effective(), 7);
+        }
+    }
+
+    #[test]
+    fn threshold_backs_off_on_ack_and_is_bounded() {
+        let mut t = ThresholdController::new(4);
+        assert_eq!(t.current(), 4);
+        assert_eq!(t.on_ack(), Some(8));
+        assert_eq!(t.on_ack(), Some(12));
+        for _ in 0..20 {
+            t.on_ack();
+        }
+        assert_eq!(t.current(), t.hi());
+        assert_eq!(t.on_ack(), None);
+    }
+
+    #[test]
+    fn threshold_decays_one_step_per_quiet_period_down_to_lo() {
+        let mut t = ThresholdController::new(4);
+        t.on_ack(); // 8
+        for _ in 0..THRESHOLD_QUIET_PERIOD - 1 {
+            assert_eq!(t.on_quiet_poll(), None);
+        }
+        assert_eq!(t.on_quiet_poll(), Some(7));
+        // Sustained calm walks it past base down to lo = 2 and stops.
+        for _ in 0..20 * THRESHOLD_QUIET_PERIOD {
+            t.on_quiet_poll();
+        }
+        assert_eq!(t.current(), t.lo());
+        assert_eq!(t.current(), 2);
+        assert_eq!(t.on_quiet_poll(), None);
+    }
+
+    #[test]
+    fn threshold_lo_never_reaches_zero() {
+        let t = ThresholdController::new(1);
+        assert_eq!(t.lo(), 1);
+        assert_eq!(t.hi(), 8);
+    }
+}

@@ -34,6 +34,10 @@ pub struct TraceCollector {
     filter: AtomicU64,
     /// 1-in-N rate for [`Category::SAMPLED_MASK`] categories (1 = all).
     sample: u32,
+    /// Serialises mid-run readers ([`TraceCollector::drain_published`])
+    /// against each other — the rings' consumer cursors are
+    /// single-consumer state.
+    reader: std::sync::Mutex<()>,
 }
 
 /// A single worker's recording endpoint. Cheap to copy into the worker's
@@ -115,6 +119,7 @@ impl TraceCollector {
             clock: TraceClock::start(),
             filter: AtomicU64::new(effective_mask(filter)),
             sample: sample.max(1),
+            reader: std::sync::Mutex::new(()),
         }
     }
 
@@ -170,6 +175,41 @@ impl TraceCollector {
     pub fn emit_at(&self, worker: usize, ts: u64, kind: EventKind) {
         if self.filter.load(Ordering::Relaxed) & kind.category().bit() != 0 {
             self.rings[worker].push(RawEvent::encode(ts, kind));
+        }
+    }
+
+    /// Events `worker` has published so far and not yet consumed — the
+    /// most a concurrent [`TraceCollector::drain_published`] could
+    /// return for that ring (it may return up to one block less near
+    /// overflow; see [`EventRing::drain_published`]).
+    pub fn published_len(&self, worker: usize) -> usize {
+        self.rings[worker].published_len()
+    }
+
+    /// Drain every ring's *published* events into a trace snapshot while
+    /// the workers are still running. Wait-free for the producers; the
+    /// per-ring dropped counts are deferred to [`TraceCollector::finish`]
+    /// (they read producer-private state, so a mid-run snapshot reports
+    /// 0 there). Multiple reader threads are serialised internally;
+    /// events handed out here never reappear in a later snapshot or in
+    /// the final [`TraceCollector::finish`] trace.
+    pub fn drain_published(&self) -> Trace {
+        let _guard = self.reader.lock().unwrap();
+        let workers = self
+            .rings
+            .iter()
+            .enumerate()
+            .map(|(worker, ring)| WorkerTrace {
+                worker,
+                dropped: 0,
+                events: ring.drain_published(),
+            })
+            .collect();
+        Trace {
+            workers,
+            filter: self.filter.load(Ordering::Relaxed),
+            sample: self.sample,
+            clock_backend: self.clock.backend(),
         }
     }
 
@@ -423,6 +463,33 @@ mod tests {
         }
         let trace = collector.finish();
         assert_eq!(trace.len(), 20);
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "no-hot-events",
+        ignore = "exercises hot categories that this feature compiles out"
+    )]
+    fn drain_published_snapshots_without_losing_events() {
+        let collector = TraceCollector::new(2, 1 << 12);
+        for i in 0..200 {
+            collector.emit_at(0, i, EventKind::Push);
+            collector.emit_at(1, i, EventKind::Pop);
+        }
+        let announced = collector.published_len(0);
+        let snap = collector.drain_published();
+        assert_eq!(snap.workers[0].events.len(), announced);
+        assert!(snap.workers[0].events.len() <= 200);
+        assert_eq!(snap.filter, collector.filter());
+        // Snapshot + final trace partition the stream exactly.
+        let rest = collector.finish();
+        for w in 0..2 {
+            assert_eq!(
+                snap.workers[w].events.len() + rest.workers[w].events.len(),
+                200
+            );
+            assert_eq!(rest.workers[w].dropped, 0);
+        }
     }
 
     #[test]

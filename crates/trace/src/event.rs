@@ -199,6 +199,20 @@ pub enum EventKind {
         /// The server-assigned job id.
         job: u32,
     },
+    /// The online controller retuned this worker's effective cutoff
+    /// (`RunStats::cutoff_adjustments`).
+    CutoffTune {
+        /// The new effective cutoff after the adjustment.
+        eff: u32,
+        /// `true` for an increase (pressure), `false` for decay.
+        up: bool,
+    },
+    /// The owner retuned its adaptive `need_task` threshold
+    /// (`RunStats::threshold_adjustments`).
+    ThresholdTune {
+        /// The new `max_stolen_num` threshold after the adjustment.
+        threshold: u32,
+    },
 }
 
 /// Event codes of the compact binary encoding, one per [`EventKind`]
@@ -231,6 +245,8 @@ pub enum Code {
     StealDup = 21,
     JobBegin = 22,
     JobEnd = 23,
+    CutoffTune = 24,
+    ThresholdTune = 25,
 }
 
 /// The 16-byte wire format: one timestamp, one code, two small arguments.
@@ -298,6 +314,8 @@ impl RawEvent {
             EventKind::SyncResume => (Code::SyncResume, 0, 0, 0),
             EventKind::JobBegin { job, slot } => (Code::JobBegin, 0, slot, job),
             EventKind::JobEnd { job } => (Code::JobEnd, 0, 0, job),
+            EventKind::CutoffTune { eff, up } => (Code::CutoffTune, up as u8, 0, eff),
+            EventKind::ThresholdTune { threshold } => (Code::ThresholdTune, 0, 0, threshold),
         };
         RawEvent {
             ts,
@@ -353,6 +371,11 @@ impl RawEvent {
                 slot: self.b,
             },
             23 => EventKind::JobEnd { job: self.c },
+            24 => EventKind::CutoffTune {
+                eff: self.c,
+                up: self.a != 0,
+            },
+            25 => EventKind::ThresholdTune { threshold: self.c },
             _ => EventKind::StealDup {
                 victim: self.b as u32,
             },
@@ -397,6 +420,8 @@ impl EventKind {
             EventKind::SyncResume => "sync_resume",
             EventKind::JobBegin { .. } => "job_begin",
             EventKind::JobEnd { .. } => "job_end",
+            EventKind::CutoffTune { .. } => "cutoff_tune",
+            EventKind::ThresholdTune { .. } => "threshold_tune",
         }
     }
 }
@@ -434,6 +459,9 @@ mod tests {
                 slot: 65535,
             },
             EventKind::JobEnd { job: u32::MAX },
+            EventKind::CutoffTune { eff: 12, up: true },
+            EventKind::CutoffTune { eff: 4, up: false },
+            EventKind::ThresholdTune { threshold: 16 },
         ];
         for from in FsmState::ALL {
             for to in FsmState::ALL {
@@ -482,8 +510,8 @@ mod tests {
         let mut names: Vec<_> = all_kinds().iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        // 23 non-FSM variants + the single "fsm" name.
-        assert_eq!(names.len(), 24);
+        // 25 non-FSM variants + the single "fsm" name.
+        assert_eq!(names.len(), 26);
         let mut state_names: Vec<_> = FsmState::ALL.iter().map(|s| s.name()).collect();
         state_names.sort_unstable();
         state_names.dedup();

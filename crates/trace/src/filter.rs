@@ -53,11 +53,15 @@ pub enum Category {
     /// forces this bit on because [`crate::Trace::split_jobs`] needs the
     /// brackets to attribute every other event.
     Job = 9,
+    /// Strategy-engine adjustments: cutoff tunes and threshold tunes
+    /// from the online controllers. Sampled like the hot trio so a
+    /// pathological oscillation cannot flood the rings.
+    Strategy = 10,
 }
 
 impl Category {
     /// All categories, indexable by discriminant.
-    pub const ALL: [Category; 10] = [
+    pub const ALL: [Category; 11] = [
         Category::Spawn,
         Category::Deque,
         Category::Steal,
@@ -68,6 +72,7 @@ impl Category {
         Category::Workspace,
         Category::Sync,
         Category::Job,
+        Category::Strategy,
     ];
 
     /// Mask with every category enabled.
@@ -75,9 +80,13 @@ impl Category {
 
     /// The categories subject to 1-in-N sampling when
     /// `Config::trace_sample > 1`: the high-frequency trio whose events
-    /// scale with the task tree rather than with scheduling decisions.
-    pub const SAMPLED_MASK: u64 =
-        Category::Deque.bit() | Category::Fake.bit() | Category::Spawn.bit();
+    /// scale with the task tree rather than with scheduling decisions,
+    /// plus strategy tunes (which an oscillating controller could emit
+    /// at poll frequency).
+    pub const SAMPLED_MASK: u64 = Category::Deque.bit()
+        | Category::Fake.bit()
+        | Category::Spawn.bit()
+        | Category::Strategy.bit();
 
     /// This category's filter bit.
     #[inline]
@@ -98,6 +107,7 @@ impl Category {
             Category::Workspace => "workspace",
             Category::Sync => "sync",
             Category::Job => "job",
+            Category::Strategy => "strategy",
         }
     }
 }
@@ -140,6 +150,7 @@ impl EventKind {
             | EventKind::CopySaved => Category::Workspace,
             EventKind::SyncSuspend | EventKind::SyncResume => Category::Sync,
             EventKind::JobBegin { .. } | EventKind::JobEnd { .. } => Category::Job,
+            EventKind::CutoffTune { .. } | EventKind::ThresholdTune { .. } => Category::Strategy,
         }
     }
 }
@@ -159,10 +170,13 @@ mod tests {
     }
 
     #[test]
-    fn sampled_mask_is_the_hot_trio() {
+    fn sampled_mask_is_the_hot_trio_plus_strategy() {
         assert_eq!(
             Category::SAMPLED_MASK,
-            Category::Deque.bit() | Category::Fake.bit() | Category::Spawn.bit()
+            Category::Deque.bit()
+                | Category::Fake.bit()
+                | Category::Spawn.bit()
+                | Category::Strategy.bit()
         );
     }
 

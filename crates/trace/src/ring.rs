@@ -198,6 +198,53 @@ impl EventRing {
         self.len() == 0
     }
 
+    /// Decode *published* events oldest-first while the producer may
+    /// still be running.
+    ///
+    /// Safety argument: the producer's private `tail` is at most
+    /// `block − 1` ahead of the `Release`-published cursor, so the slots
+    /// it may currently be writing all alias ring indices in
+    /// `[published − capacity, published − capacity + block)`. This
+    /// reader therefore starts no earlier than
+    /// `published − capacity + block` — every slot it touches was
+    /// written before the `Release` store its `Acquire` load observed,
+    /// and the producer cannot wrap back onto it until `tail` passes
+    /// `published + capacity − block`, i.e. not before the next
+    /// publication. Events skipped by that guard band (only possible
+    /// when the ring is within one block of overflow) are counted as
+    /// dropped.
+    ///
+    /// # Contract (not enforced by the type system)
+    /// At most one consumer thread may call this (it advances the same
+    /// consumer-private cursor as [`EventRing::drain`]), and it must not
+    /// race the quiescent drain — the collector serialises both behind a
+    /// reader lock.
+    pub fn drain_published(&self) -> Vec<Event> {
+        let published = self.published.load(Ordering::Acquire);
+        let consumed = self.consumed.get();
+        let guard = (published + self.block).saturating_sub(self.slots.len() as u64);
+        let head = consumed.max(guard);
+        if head >= published {
+            return Vec::new();
+        }
+        self.dropped_drained
+            .set(self.dropped_drained.get() + (head - consumed));
+        let mut out = Vec::with_capacity((published - head) as usize);
+        for i in head..published {
+            let idx = (i & self.mask) as usize;
+            // SAFETY: slot `i` is outside the producer's current write
+            // window (see the guard-band argument above) and its write
+            // happens-before the Acquire load of `published`.
+            let raw = unsafe { *self.slots[idx].get() };
+            out.push(Event {
+                ts: raw.ts,
+                kind: raw.decode(),
+            });
+        }
+        self.consumed.set(published);
+        out
+    }
+
     /// Decode the live events oldest-first. Requires exclusive access —
     /// i.e. the producer has quiesced (worker joined).
     pub fn drain(&mut self) -> Vec<Event> {
@@ -344,6 +391,70 @@ mod tests {
         let events = ring.drain();
         assert_eq!(events.len(), 500);
         assert!(events.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn drain_published_hands_out_each_event_exactly_once() {
+        let mut ring = EventRing::with_capacity(1024);
+        for i in 0..100u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        // 100 pushed, 64 published (one block): the mid-run reader gets
+        // exactly the published prefix.
+        let snap = ring.drain_published();
+        assert_eq!(snap.len(), BLOCK as usize);
+        assert_eq!(snap.first().unwrap().ts, 0);
+        assert_eq!(snap.last().unwrap().ts, BLOCK - 1);
+        // A second snapshot with nothing newly published is empty.
+        assert!(ring.drain_published().is_empty());
+        // The quiescent drain picks up only the remainder.
+        let rest = ring.drain();
+        assert_eq!(rest.len(), 100 - BLOCK as usize);
+        assert_eq!(rest.first().unwrap().ts, BLOCK);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_published_stays_out_of_the_producer_write_window() {
+        // Capacity 128, block 64: with 128 events published the guard
+        // band excludes the oldest block (the producer may be wrapping
+        // onto it), and the skipped events count as dropped.
+        let mut ring = EventRing::with_capacity(128);
+        for i in 0..128u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        let snap = ring.drain_published();
+        assert_eq!(snap.len(), 128 - BLOCK as usize);
+        assert_eq!(snap.first().unwrap().ts, BLOCK);
+        assert_eq!(ring.dropped(), BLOCK);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_published_while_producer_races() {
+        // A concurrent reader must only ever see timestamps in order and
+        // each exactly once, with reader+drain+dropped covering all
+        // events. The big ring keeps the producer from lapping.
+        let ring = std::sync::Arc::new(EventRing::with_capacity(1 << 16));
+        let reader = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while seen.len() < 2048 {
+                    seen.extend(ring.drain_published());
+                }
+                seen
+            })
+        };
+        for i in 0..8192u64 {
+            ring.push(RawEvent::encode(i, EventKind::Push));
+        }
+        let seen = reader.join().unwrap();
+        assert!(seen.windows(2).all(|w| w[0].ts < w[1].ts));
+        assert_eq!(seen.first().unwrap().ts, 0);
+        let mut ring = std::sync::Arc::try_unwrap(ring).ok().expect("sole owner");
+        let rest = ring.drain();
+        assert_eq!(seen.len() as u64 + rest.len() as u64 + ring.dropped(), 8192);
     }
 
     #[test]

@@ -141,6 +141,20 @@ impl Checker<'_> {
             s.workspace_copies_saved,
         );
         self.check(worker, "suspensions", Cat::Sync, c.suspends, s.suspensions);
+        self.check(
+            worker,
+            "cutoff_adjustments",
+            Cat::Strategy,
+            c.cutoff_tunes,
+            s.cutoff_adjustments,
+        );
+        self.check(
+            worker,
+            "threshold_adjustments",
+            Cat::Strategy,
+            c.threshold_tunes,
+            s.threshold_adjustments,
+        );
     }
 }
 

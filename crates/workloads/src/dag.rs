@@ -1,0 +1,336 @@
+//! Layered random dataflow DAGs with phase-skewed grain.
+//!
+//! The paper's synthetic workloads ([`crate::tree`]) are trees whose
+//! *shape* is irregular but whose per-node grain is uniform, so a single
+//! well-chosen static cutoff serves the whole run. This family is built
+//! to defeat that: a [`LayeredDag`] is a seeded random dataflow graph
+//! whose layers are grouped into **phases** with contrasting width and
+//! grain — a wide band of fine-grained vertices (wants a deep cutoff:
+//! lots of cheap parallelism to expose) followed by a narrow band of
+//! coarse-grained vertices (wants a shallow cutoff: task overhead
+//! dominates), and so on. No static cutoff is right for every phase,
+//! which is exactly the regime the adaptive creation policy's online
+//! controller is supposed to win.
+//!
+//! # Encoding a DAG as a [`Problem`]
+//!
+//! The engine's interface is a tree search (apply/undo on a path), so
+//! the DAG is executed along a **spanning tree**: every vertex beyond
+//! the first layer draws exactly one *tree* in-edge from a random
+//! vertex of the previous layer, and traversal descends tree edges
+//! only. The remaining dataflow in-edges (each vertex draws up to
+//! [`MAX_EXTRA_EDGES`] extra predecessors) are not traversed — their
+//! cost is charged at the vertex itself as [`EXTRA_EDGE_WORK`] extra
+//! work units per edge, modelling the combine/await of the extra
+//! inputs. Every vertex is visited exactly once, the traversal is
+//! deterministic in the seed, and vertices whose layer-successor draw
+//! left them childless become leaves mid-graph, keeping the spanning
+//! tree as irregular as the DAG it covers.
+
+use adaptivetc_core::{Expansion, Problem, XorShift64};
+
+/// Most extra (non-tree) dataflow in-edges one vertex may draw.
+pub const MAX_EXTRA_EDGES: u64 = 3;
+
+/// Work units charged per extra in-edge (the combine of one input).
+pub const EXTRA_EDGE_WORK: u64 = 2;
+
+/// One band of consecutive layers sharing a width and a grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Number of layers in this band.
+    pub layers: usize,
+    /// Vertices per layer.
+    pub width: usize,
+    /// Base work units per vertex (before extra-edge charges).
+    pub grain: u64,
+}
+
+/// A seeded layered random dataflow DAG executed along its spanning
+/// tree (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use adaptivetc_core::serial;
+/// use adaptivetc_workloads::dag::LayeredDag;
+///
+/// let d = LayeredDag::phase_skewed(2, 42);
+/// let (leaves, report) = serial::run(&d);
+/// assert!(leaves > 0);
+/// // Every vertex runs exactly once (plus the virtual root).
+/// assert_eq!(report.nodes, d.vertices() as u64 + 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredDag {
+    /// Tree children of each vertex (next-layer vertices whose tree
+    /// in-edge came from it).
+    children: Vec<Vec<u32>>,
+    /// Per-vertex work units: phase grain + extra-edge charges.
+    work: Vec<u64>,
+    /// First-layer vertices (children of the virtual root).
+    roots: Vec<u32>,
+    /// Width of each layer, in order (the realised phase profile).
+    widths: Vec<usize>,
+    /// Total non-tree dataflow edges drawn.
+    extra_edges: u64,
+    seed: u64,
+}
+
+impl LayeredDag {
+    /// Build a DAG from explicit phase bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any band has zero layers or zero
+    /// width.
+    pub fn from_phases(phases: &[PhaseSpec], seed: u64) -> Self {
+        assert!(!phases.is_empty(), "a DAG needs at least one phase");
+        for p in phases {
+            assert!(p.layers > 0 && p.width > 0, "empty phase band");
+        }
+        let mut rng = XorShift64::new(seed ^ 0xDA6_0001);
+        let mut children: Vec<Vec<u32>> = Vec::new();
+        let mut work: Vec<u64> = Vec::new();
+        let mut widths: Vec<usize> = Vec::new();
+        let mut extra_edges = 0u64;
+        let mut prev_layer: Vec<u32> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
+        for p in phases {
+            for _ in 0..p.layers {
+                let mut layer: Vec<u32> = Vec::with_capacity(p.width);
+                for _ in 0..p.width {
+                    let v = children.len() as u32;
+                    children.push(Vec::new());
+                    let extra = if prev_layer.len() > 1 {
+                        rng.below_usize(MAX_EXTRA_EDGES as usize + 1) as u64
+                    } else {
+                        0
+                    };
+                    extra_edges += extra;
+                    work.push(p.grain.max(1) + extra * EXTRA_EDGE_WORK);
+                    if prev_layer.is_empty() {
+                        roots.push(v);
+                    } else {
+                        // The one tree in-edge: a uniform draw over the
+                        // previous layer. Parents never drawn stay
+                        // childless — leaves mid-graph.
+                        let parent = prev_layer[rng.below_usize(prev_layer.len())];
+                        children[parent as usize].push(v);
+                    }
+                    layer.push(v);
+                }
+                widths.push(layer.len());
+                prev_layer = layer;
+            }
+        }
+        LayeredDag {
+            children,
+            work,
+            roots,
+            widths,
+            extra_edges,
+            seed,
+        }
+    }
+
+    /// The phase-skewed preset: two rounds of a wide fine-grained band
+    /// followed by a narrow coarse-grained band. The wide band's best
+    /// static cutoff is deep (cheap abundant parallelism), the narrow
+    /// band's is shallow (scarce expensive vertices) — no single static
+    /// cutoff serves both. `scale` multiplies the wide band's width.
+    pub fn phase_skewed(scale: usize, seed: u64) -> Self {
+        let s = scale.max(1);
+        let wide = PhaseSpec {
+            layers: 6,
+            width: 16 * s,
+            grain: 1,
+        };
+        let narrow = PhaseSpec {
+            layers: 6,
+            width: 2,
+            grain: 48,
+        };
+        LayeredDag::from_phases(&[wide, narrow, wide, narrow], seed)
+    }
+
+    /// The uniform control: same vertex and work totals order of
+    /// magnitude, one width and one grain throughout — a single static
+    /// cutoff is near-optimal, so adaptive creation should match it.
+    pub fn uniform(scale: usize, seed: u64) -> Self {
+        let s = scale.max(1);
+        LayeredDag::from_phases(
+            &[PhaseSpec {
+                layers: 24,
+                width: 9 * s,
+                grain: 7,
+            }],
+            seed,
+        )
+    }
+
+    /// Total vertex count (excluding the virtual root).
+    pub fn vertices(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Realised layer widths, in order.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Total non-tree dataflow edges drawn.
+    pub fn extra_edges(&self) -> u64 {
+        self.extra_edges
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Tree children of the node a path ends at (`None` top = the
+    /// virtual root, whose children are the first layer).
+    fn kids(&self, path: &[u32]) -> &[u32] {
+        match path.last() {
+            Some(&v) => &self.children[v as usize],
+            None => &self.roots,
+        }
+    }
+}
+
+impl Problem for LayeredDag {
+    /// The spanning-tree path of vertex ids (empty at the virtual root).
+    type State = Vec<u32>;
+    type Choice = u16;
+    type Out = u64;
+
+    fn root(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn expand(&self, path: &Vec<u32>, _depth: u32) -> Expansion<u16, u64> {
+        if let Some(&v) = path.last() {
+            spin(self.work[v as usize]);
+        }
+        let kids = self.kids(path);
+        if kids.is_empty() {
+            Expansion::Leaf(1)
+        } else {
+            Expansion::Children((0..kids.len() as u16).collect())
+        }
+    }
+
+    fn apply(&self, path: &mut Vec<u32>, c: u16) {
+        let v = self.kids(path)[usize::from(c)];
+        path.push(v);
+    }
+
+    fn undo(&self, path: &mut Vec<u32>, _c: u16) {
+        path.pop();
+    }
+
+    fn state_bytes(&self, path: &Vec<u32>) -> usize {
+        path.len() * std::mem::size_of::<u32>()
+    }
+
+    fn node_work(&self, path: &Vec<u32>, _depth: u32) -> u64 {
+        match path.last() {
+            Some(&v) => self.work[v as usize],
+            None => 1,
+        }
+    }
+}
+
+/// Burn roughly `units` small amounts of CPU, defeating the optimiser.
+#[inline]
+fn spin(units: u64) {
+    let mut acc = 0u64;
+    for i in 0..units * 8 {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        std::hint::black_box(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivetc_core::serial;
+
+    #[test]
+    fn every_vertex_runs_exactly_once() {
+        let d = LayeredDag::phase_skewed(2, 7);
+        let (leaves, r) = serial::run(&d);
+        assert_eq!(r.nodes, d.vertices() as u64 + 1, "virtual root + DAG");
+        assert_eq!(leaves, r.leaves);
+        assert!(leaves > 0);
+    }
+
+    #[test]
+    fn construction_is_deterministic_in_the_seed() {
+        let a = LayeredDag::phase_skewed(3, 99);
+        let b = LayeredDag::phase_skewed(3, 99);
+        assert_eq!(a, b);
+        let c = LayeredDag::phase_skewed(3, 100);
+        assert_ne!(a, c, "a different seed must redraw the edges");
+    }
+
+    #[test]
+    fn widths_follow_the_phase_profile() {
+        let d = LayeredDag::from_phases(
+            &[
+                PhaseSpec {
+                    layers: 2,
+                    width: 5,
+                    grain: 1,
+                },
+                PhaseSpec {
+                    layers: 3,
+                    width: 2,
+                    grain: 9,
+                },
+            ],
+            1,
+        );
+        assert_eq!(d.widths(), &[5, 5, 2, 2, 2]);
+        assert_eq!(d.vertices(), 2 * 5 + 3 * 2);
+    }
+
+    #[test]
+    fn phase_skew_contrasts_grain_across_bands() {
+        let d = LayeredDag::phase_skewed(1, 5);
+        // Wide band: 6 layers × 16 fine vertices. Narrow band: 6 × 2
+        // coarse ones. The base grains must differ by well over the
+        // extra-edge noise, or the bands do not actually skew.
+        let wide_vertices = 6 * 16;
+        let wide_max: u64 = d.work[..wide_vertices].iter().copied().max().unwrap();
+        let narrow_min: u64 = d.work[wide_vertices..wide_vertices + 12]
+            .iter()
+            .copied()
+            .min()
+            .unwrap();
+        assert!(wide_max <= 1 + MAX_EXTRA_EDGES * EXTRA_EDGE_WORK);
+        assert!(narrow_min >= 48);
+    }
+
+    #[test]
+    fn extra_edges_charge_work_at_the_vertex() {
+        let d = LayeredDag::uniform(2, 11);
+        assert!(d.extra_edges() > 0, "a multi-layer DAG draws extra edges");
+        let heavier = d.work.iter().filter(|&&w| w > 7).count();
+        assert!(heavier > 0, "some vertex carries extra-edge work");
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        use adaptivetc_core::Config;
+        use adaptivetc_runtime::Scheduler;
+        let d = LayeredDag::phase_skewed(1, 3);
+        let (serial_leaves, _) = serial::run(&d);
+        for threads in [1, 2, 4] {
+            let cfg = Config::new(threads).seed(13);
+            let (leaves, _) = Scheduler::AdaptiveTc.run(&d, &cfg).unwrap();
+            assert_eq!(leaves, serial_leaves, "threads={threads}");
+        }
+    }
+}
