@@ -65,6 +65,9 @@ pub mod chase_lev;
 #[path = "../../deque/src/fence_free.rs"]
 pub mod fence_free;
 
+#[path = "../../deque/src/pool.rs"]
+pub mod pool;
+
 #[path = "../../deque/src/signal.rs"]
 pub mod signal;
 
@@ -76,6 +79,8 @@ pub mod submit;
 // transition code the product runs.
 #[path = "../../strategy/src/controller.rs"]
 pub mod controller;
+
+pub mod scenarios;
 
 pub use shim_sync::{current_trail, explore, replay, replay_with, Config, Report};
 

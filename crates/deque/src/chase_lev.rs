@@ -34,10 +34,9 @@
 //! here the deque holds `Arc` handles, so the memory overhead is a few
 //! machine words per growth step.
 
-use crate::sync::{fence, AtomicI64, AtomicPtr, Mutex, Ordering};
+use crate::sync::{fence, AtomicI64, AtomicPtr, Mutex, Ordering, RaceCell};
 use crate::the::PopSpecial;
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
 
@@ -51,31 +50,55 @@ struct Entry<T> {
 struct Buffer<T> {
     /// Capacity, always a power of two.
     cap: usize,
-    slots: Box<[UnsafeCell<MaybeUninit<Entry<T>>>]>,
+    /// Plain cells; owner-side accesses are race-checked under
+    /// `cfg(adaptivetc_check)`, thief reads go through the unchecked
+    /// [`RaceCell::speculative`] escape hatch (see [`Buffer::read_speculative`]).
+    slots: Box<[RaceCell<MaybeUninit<Entry<T>>>]>,
 }
 
 impl<T> Buffer<T> {
     fn alloc(cap: usize) -> *mut Buffer<T> {
         let slots = (0..cap)
-            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .map(|_| RaceCell::new(MaybeUninit::uninit()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Box::into_raw(Box::new(Buffer { cap, slots }))
     }
 
+    /// Owner-side read (pop, grow, drop): exclusive or read-read only.
+    ///
     /// # Safety
     ///
     /// The caller must guarantee `index` was initialised by a prior
-    /// `write` and not yet retired. Reads may be speculative (top may
-    /// advance concurrently); a caller that loses the claiming CAS must
-    /// `mem::forget` the value so the true owner's copy is the only one
-    /// dropped.
+    /// `write` and not yet retired. A caller that loses the claiming CAS
+    /// must `mem::forget` the value so the true owner's copy is the only
+    /// one dropped.
     unsafe fn read(&self, index: i64) -> Entry<T> {
         let slot = &self.slots[(index as usize) & (self.cap - 1)];
         // SAFETY: initialisation of the slot is the caller's contract
         // (above); the `& (cap - 1)` mask keeps the access in bounds for
         // the power-of-two buffer.
-        unsafe { (*slot.get()).assume_init_read() }
+        unsafe { (*slot.read()).assume_init_read() }
+    }
+
+    /// Thief-side read: deliberately *speculative*, Chase-Lev's one benign
+    /// race. A thief that loses its claiming CAS may have read a slot the
+    /// owner was concurrently recycling; the torn value is forgotten, and
+    /// the winning claim's CAS (SeqCst success, observed by the owner's
+    /// Acquire load of `top` in the push capacity check) is what orders
+    /// the recycling write after the *winner's* read. The race detector
+    /// cannot express "losers discard", so this path bypasses it; kept
+    /// separate from [`Buffer::read`] so every checked call site stays
+    /// checked.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Buffer::read`].
+    unsafe fn read_speculative(&self, index: i64) -> Entry<T> {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        // SAFETY: initialisation per the caller's contract; masked index
+        // is in bounds.
+        unsafe { (*slot.speculative()).assume_init_read() }
     }
 
     /// # Safety
@@ -89,7 +112,7 @@ impl<T> Buffer<T> {
         // SAFETY: exclusive owner access per the contract above; masked
         // index is in bounds.
         unsafe {
-            (*slot.get()).write(entry);
+            (*slot.write()).write(entry);
         }
     }
 }
@@ -318,7 +341,7 @@ impl<T> ChaseLevDeque<T> {
             // initialised; the claim is validated by the CAS below, and on
             // failure the value is forgotten (another party owns the
             // slot), so no double drop can occur.
-            let entry = unsafe { (*buf).read(t) };
+            let entry = unsafe { (*buf).read_speculative(t) };
             if entry.special {
                 if t + 1 >= b {
                     // A lone special is unstealable: leave it to the owner.
@@ -334,7 +357,7 @@ impl<T> ChaseLevDeque<T> {
                 // reclaimed before index t (which the CAS below
                 // validates), and the value is forgotten immediately so it
                 // is never dropped here.
-                let above = unsafe { (*buf).read(t + 1) };
+                let above = unsafe { (*buf).read_speculative(t + 1) };
                 let above_is_special = above.special;
                 std::mem::forget(above);
                 if above_is_special {

@@ -48,10 +48,9 @@
 //! fewer tasks than Cilk-style always-spawn, which is what makes this
 //! trade acceptable here.
 
-use crate::sync::{AtomicPtr, AtomicU64, Ordering};
+use crate::sync::{AtomicPtr, AtomicU64, Ordering, RaceCell};
 use crate::the::{PopSpecial, StealOutcome};
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
 use std::ptr;
@@ -67,9 +66,12 @@ const DIR_ENTRIES: usize = 48;
 /// the owner's single write happens-before every reader via the `Release`
 /// store of `tail` / `Acquire` load by the thief, and the value is only
 /// ever *cloned* through a shared reference after that, never mutated.
+/// Unlike the recycling backends, every access here is fully race-checked
+/// under `cfg(adaptivetc_check)` — write-once publication needs no
+/// speculative escape hatch (DESIGN.md §16).
 struct Slot<T> {
-    kind: UnsafeCell<u8>,
-    value: UnsafeCell<MaybeUninit<T>>,
+    kind: RaceCell<u8>,
+    value: RaceCell<MaybeUninit<T>>,
 }
 
 struct Segment<T> {
@@ -80,8 +82,8 @@ impl<T> Segment<T> {
     fn alloc(len: usize) -> *mut Segment<T> {
         let slots = (0..len)
             .map(|_| Slot {
-                kind: UnsafeCell::new(0),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
+                kind: RaceCell::new(0),
+                value: RaceCell::new(MaybeUninit::uninit()),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -143,7 +145,9 @@ pub struct FenceFreeDeque<T> {
     dir: [AtomicPtr<Segment<T>>; DIR_ENTRIES],
     /// `log2` of segment 0's capacity.
     base_shift: u32,
-    owner: UnsafeCell<OwnerState>,
+    /// Owner-only by the protocol contract; a [`RaceCell`] so the model
+    /// checker can *verify* the single-owner contract rather than assume it.
+    owner: RaceCell<OwnerState>,
 }
 
 // SAFETY: slots are write-once (owner, pre-publication) and cloned
@@ -165,7 +169,7 @@ impl<T> FenceFreeDeque<T> {
             live: CachePadded::new(AtomicU64::new(0)),
             dir: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
             base_shift: base.trailing_zeros(),
-            owner: UnsafeCell::new(OwnerState {
+            owner: RaceCell::new(OwnerState {
                 next: 0,
                 stack: Vec::with_capacity(base),
             }),
@@ -220,7 +224,7 @@ impl<T> FenceFreeDeque<T> {
 
     fn push_kind(&self, value: T, kind: u8) {
         // SAFETY: owner-only method (protocol contract).
-        let st = unsafe { &mut *self.owner.get() };
+        let st = unsafe { &mut *self.owner.write() };
         let idx = st.next;
         let (s, off) = self.locate(idx);
         let mut seg = self.dir[s].load(Ordering::Relaxed);
@@ -235,8 +239,8 @@ impl<T> FenceFreeDeque<T> {
         // until the `Release` store of `tail` below.
         unsafe {
             let slot = &(*seg).slots[off];
-            *slot.kind.get() = kind;
-            (*slot.value.get()).write(value);
+            *slot.kind.write() = kind;
+            (*slot.value.write()).write(value);
         }
         st.stack.push(idx);
         st.next = idx + 1;
@@ -267,18 +271,18 @@ impl<T: Clone> FenceFreeDeque<T> {
     /// entries. The owner's whole pop touches no atomics at all.
     pub fn pop(&self) -> Option<T> {
         // SAFETY: owner-only method (protocol contract).
-        let st = unsafe { &mut *self.owner.get() };
+        let st = unsafe { &mut *self.owner.write() };
         let idx = st.stack.pop()?;
         self.live.store(st.stack.len() as u64, Ordering::Relaxed);
         let slot = self.slot(idx, true);
         // SAFETY: write-once slot published by this same thread.
         unsafe {
             debug_assert_eq!(
-                *slot.kind.get(),
+                *slot.kind.read(),
                 KIND_TASK,
                 "pop must match a regular push (LIFO discipline violated)"
             );
-            Some((*slot.value.get()).assume_init_ref().clone())
+            Some((*slot.value.read()).assume_init_ref().clone())
         }
     }
 
@@ -293,7 +297,7 @@ impl<T: Clone> FenceFreeDeque<T> {
     /// module docs.
     pub fn pop_special(&self) -> PopSpecial<T> {
         // SAFETY: owner-only method (protocol contract).
-        let st = unsafe { &mut *self.owner.get() };
+        let st = unsafe { &mut *self.owner.write() };
         let mut idx = st
             .stack
             .pop()
@@ -301,7 +305,7 @@ impl<T: Clone> FenceFreeDeque<T> {
         let mut slot = self.slot(idx, true);
         // SAFETY (slot reads below): write-once slots published by this
         // same thread.
-        if unsafe { *slot.kind.get() } == KIND_TASK {
+        if unsafe { *slot.kind.read() } == KIND_TASK {
             // The caller skipped popping the special's child because a
             // thief took it (the other backends consumed its slot; our
             // log kept it). Discard the dead offer and pop the special
@@ -317,14 +321,14 @@ impl<T: Clone> FenceFreeDeque<T> {
         // SAFETY: write-once slot published by this same thread's push.
         unsafe {
             debug_assert_eq!(
-                *slot.kind.get(),
+                *slot.kind.read(),
                 KIND_SPECIAL,
                 "pop_special must match a push_special (LIFO discipline violated)"
             );
             if self.head.load(Ordering::Relaxed) > idx {
                 PopSpecial::ChildStolen
             } else {
-                PopSpecial::Reclaimed((*slot.value.get()).assume_init_ref().clone())
+                PopSpecial::Reclaimed((*slot.value.read()).assume_init_ref().clone())
             }
         }
     }
@@ -348,14 +352,14 @@ impl<T: Clone> FenceFreeDeque<T> {
             let slot = self.slot(h, false);
             // SAFETY: h < t, which the Acquire load of `tail` proved
             // published; slots are write-once, so the read cannot race.
-            if unsafe { *slot.kind.get() } == KIND_SPECIAL {
+            if unsafe { *slot.kind.read() } == KIND_SPECIAL {
                 if h + 1 >= t {
                     // A lone special is unstealable: leave it to the owner.
                     return StealOutcome::Empty;
                 }
                 let child = self.slot(h + 1, false);
                 // SAFETY: h + 1 < t per the bound check above; write-once.
-                if unsafe { *child.kind.get() } == KIND_SPECIAL {
+                if unsafe { *child.kind.read() } == KIND_SPECIAL {
                     // A *live* special always has its task child directly
                     // above it (the five-version FSM pushes them as a
                     // pair), so adjacent specials mean the one at the
@@ -370,7 +374,7 @@ impl<T: Clone> FenceFreeDeque<T> {
                 // SAFETY: slot h + 1 < t is published (Acquire `tail`) and
                 // write-once initialised; cloning by shared ref never
                 // conflicts with other readers.
-                let v = unsafe { (*child.value.get()).assume_init_ref().clone() };
+                let v = unsafe { (*child.value.read()).assume_init_ref().clone() };
                 // Relaxed suffices: the CAS only arbitrates the cursor
                 // between thieves — the clone above was already made safe
                 // by the Acquire load of `tail`, and exactly-once
@@ -385,7 +389,7 @@ impl<T: Clone> FenceFreeDeque<T> {
             } else {
                 // SAFETY: slot h < t is published (Acquire `tail`) and
                 // write-once initialised; cloning by shared ref is safe.
-                let v = unsafe { (*slot.value.get()).assume_init_ref().clone() };
+                let v = unsafe { (*slot.value.read()).assume_init_ref().clone() };
                 if self
                     .head
                     .compare_exchange(h, h + 1, Ordering::Relaxed, Ordering::Relaxed)
@@ -417,7 +421,7 @@ impl<T> Drop for FenceFreeDeque<T> {
             // SAFETY: exclusive access in Drop; slots [0, t) are
             // initialised and segments live until freed below.
             unsafe {
-                (*(*seg).slots[off].value.get()).assume_init_drop();
+                (*(*seg).slots[off].value.write()).assume_init_drop();
             }
         }
         for d in &self.dir {

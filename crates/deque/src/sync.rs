@@ -27,12 +27,80 @@ pub use std::sync::atomic::{
 #[cfg(adaptivetc_check)]
 pub use shim_sync::sync::{
     fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Mutex, Ordering,
+    RaceCell,
 };
 
 #[cfg(all(not(adaptivetc_check), feature = "count-sync"))]
 pub use counting::{
     fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Mutex, Ordering,
 };
+
+#[cfg(not(adaptivetc_check))]
+pub use plain::RaceCell;
+
+/// Plain-cell arm of the facade for real and `count-sync` builds: a
+/// transparent `UnsafeCell` with the checked-access API shape of
+/// `shim_sync::sync::RaceCell`. The model checker's race detector is the
+/// only consumer that distinguishes `read`/`write`/`speculative`; here
+/// they all compile to `UnsafeCell::get`.
+#[cfg(not(adaptivetc_check))]
+mod plain {
+    use std::cell::UnsafeCell;
+
+    /// A plain, non-atomic cell race-checked under the model checker and
+    /// zero-cost everywhere else. Pointers returned by the accessors
+    /// carry the usual `UnsafeCell` obligations: the surrounding
+    /// protocol, not this type, justifies each dereference.
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct RaceCell<T> {
+        inner: UnsafeCell<T>,
+    }
+
+    // SAFETY: same contract as `UnsafeCell` — the owning protocol
+    // synchronizes all shared accesses (and the adaptivetc_check arm of
+    // this facade model-checks exactly that claim).
+    unsafe impl<T: Send> Send for RaceCell<T> {}
+    // SAFETY: see the `Send` impl above.
+    unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+    impl<T> RaceCell<T> {
+        /// Create a new cell holding `t`.
+        pub const fn new(t: T) -> Self {
+            Self {
+                inner: UnsafeCell::new(t),
+            }
+        }
+
+        /// A checked plain read under the model checker; here, a raw
+        /// pointer to the contents.
+        #[inline(always)]
+        pub fn read(&self) -> *const T {
+            self.inner.get()
+        }
+
+        /// A checked plain write under the model checker; here, a raw
+        /// pointer to the contents.
+        #[inline(always)]
+        pub fn write(&self) -> *mut T {
+            self.inner.get()
+        }
+
+        /// An *unchecked* read for by-design benign races (validated
+        /// out-of-band, e.g. by a subsequent CAS).
+        #[inline(always)]
+        pub fn speculative(&self) -> *const T {
+            self.inner.get()
+        }
+
+        /// Exclusive access through a unique reference.
+        #[allow(dead_code)] // API parity with the model-checked arm
+        #[inline(always)]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+}
 
 /// Process-global operation counters for `count-sync` builds.
 #[cfg(all(not(adaptivetc_check), feature = "count-sync"))]

@@ -17,11 +17,16 @@
 //! * [`TheDeque::pop_special`] — the owner's matching pop: if the child was
 //!   stolen (`H > T` after decrementing), `H` is reset to `T` so the special
 //!   task remains conceptually at the head (`pop_specialtask`).
+//!
+//! Beyond the paper, a *completion cursor* `C` (`cleaned`) tracks the
+//! highest index whose claimed slot has been fully read; the owner's push
+//! checks capacity against `C` rather than `H` so that recycling a
+//! physical slot is ordered after the steal that last read it (see the
+//! field docs — `H` alone provides no such happens-before edge).
 
-use crate::sync::{fence, AtomicU64, AtomicU8, Mutex, Ordering};
+use crate::sync::{fence, AtomicU64, AtomicU8, Mutex, Ordering, RaceCell};
 use crate::Overflow;
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
 
@@ -58,7 +63,9 @@ const INDEX_BASE: u64 = 1 << 32;
 
 struct Slot<T> {
     kind: AtomicU8,
-    value: UnsafeCell<MaybeUninit<T>>,
+    /// Plain (non-atomic) cell; accesses are checked for data races under
+    /// `cfg(adaptivetc_check)` with `check_races` on (DESIGN.md §16).
+    value: RaceCell<MaybeUninit<T>>,
 }
 
 /// A fixed-capacity THE-protocol work-stealing deque.
@@ -91,6 +98,17 @@ pub struct TheDeque<T> {
     head: CachePadded<AtomicU64>,
     /// Tail `T`: first unused slot. Modified only by the owner.
     tail: CachePadded<AtomicU64>,
+    /// Completion cursor `C`: every physical slot backing an index below
+    /// `C` has been fully read by the party that claimed it through the
+    /// lock. Written only under the THE lock (steal success and the
+    /// `pop_special` head reset); the owner's push reads it (`Acquire`)
+    /// to prove a recycled slot's last reader finished. `head` alone
+    /// cannot prove that: thieves raise `head` with a `Relaxed` store
+    /// *before* reading the slot value, so an `Acquire` load of `head`
+    /// carries no happens-before edge to the thief's value read — a real
+    /// C11 wraparound race at `T = H + capacity`, found by the
+    /// `check_races` lane (DESIGN.md §16).
+    cleaned: CachePadded<AtomicU64>,
     /// The THE lock: serialises thieves against each other and against the
     /// owner's slow paths.
     lock: Mutex<()>,
@@ -112,13 +130,14 @@ impl<T> TheDeque<T> {
         let slots = (0..capacity)
             .map(|_| Slot {
                 kind: AtomicU8::new(KIND_EMPTY),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
+                value: RaceCell::new(MaybeUninit::uninit()),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         TheDeque {
             head: CachePadded::new(AtomicU64::new(INDEX_BASE)),
             tail: CachePadded::new(AtomicU64::new(INDEX_BASE)),
+            cleaned: CachePadded::new(AtomicU64::new(INDEX_BASE)),
             lock: Mutex::new(()),
             slots,
         }
@@ -148,17 +167,25 @@ impl<T> TheDeque<T> {
 
     fn push_kind(&self, value: T, kind: u8) -> Result<(), Overflow> {
         let t = self.tail.load(Ordering::Relaxed);
-        // `head` read is a lower bound (thieves only increase it), so
-        // `t - h` over-estimates occupancy: conservative, never overwrites.
-        let h = self.head.load(Ordering::Acquire);
-        if t.wrapping_sub(h) >= self.slots.len() as u64 {
+        // `cleaned` is a lower bound on consumed indices (it only grows at
+        // quiescence), so `t - c` over-estimates occupancy: conservative,
+        // never overwrites a slot whose last reader has not finished.
+        // Acquire (KEPT): pairs with the thief's Release store of `cleaned`
+        // after its value reads — reusing the physical slot of index
+        // `t - capacity` is safe only once that steal's read is ordered
+        // before this push's write. (`head` cannot stand in: thieves raise
+        // it Relaxed *before* reading the slot.)
+        let c = self.cleaned.load(Ordering::Acquire);
+        if t.wrapping_sub(c) >= self.slots.len() as u64 {
             return Err(Overflow(self.slots.len()));
         }
         let slot = self.slot(t);
-        // SAFETY: slot `t` is outside the live region `[h, t)`, so no other
-        // party may read it until `tail` is advanced below.
+        // SAFETY: slot `t` is outside the live region `[h, t)` and its
+        // previous occupant (index `t - capacity`, if any) was consumed —
+        // `cleaned > t - capacity` per the check above — so no other party
+        // may access it until `tail` is advanced below.
         unsafe {
-            (*slot.value.get()).write(value);
+            (*slot.value.write()).write(value);
         }
         slot.kind.store(kind, Ordering::Relaxed);
         self.tail.store(t + 1, Ordering::Release);
@@ -222,7 +249,7 @@ impl<T> TheDeque<T> {
         let slot = self.slot(t);
         debug_assert_eq!(slot.kind.load(Ordering::Relaxed), KIND_TASK);
         // SAFETY: index `t` is now exclusively claimed by the owner.
-        Some(unsafe { (*slot.value.get()).assume_init_read() })
+        Some(unsafe { (*slot.value.read()).assume_init_read() })
     }
 
     /// Owner: pop a special entry, detecting whether its child was stolen
@@ -248,14 +275,20 @@ impl<T> TheDeque<T> {
         if h > t {
             // The thief consumed the special entry's slot together with the
             // child it stole. Reset H = T so the (re-pushed) special task
-            // stays at the head.
+            // stays at the head, and lower `cleaned` with it so the
+            // `cleaned <= head` invariant holds (a stale-high `cleaned`
+            // would make the next push's occupancy check wrap). Relaxed:
+            // only this owner thread reads the lowered value back (via the
+            // push Acquire load) before the next locked steal overwrites
+            // it, and that steal is ordered after this store by the lock.
             self.head.store(t, Ordering::Relaxed);
+            self.cleaned.store(t, Ordering::Relaxed);
             return PopSpecial::ChildStolen;
         }
         let slot = self.slot(t);
         debug_assert_eq!(slot.kind.load(Ordering::Relaxed), KIND_SPECIAL);
         // SAFETY: index `t` is exclusively claimed (no thief passed it: h <= t).
-        PopSpecial::Reclaimed(unsafe { (*slot.value.get()).assume_init_read() })
+        PopSpecial::Reclaimed(unsafe { (*slot.value.read()).assume_init_read() })
     }
 
     /// Thief: steal the oldest stealable entry.
@@ -304,10 +337,16 @@ impl<T> TheDeque<T> {
             // SAFETY: indices h and h+1 are exclusively claimed by this
             // thief. The special entry's handle is dropped here; the owner
             // learns about the theft via `pop_special`.
-            unsafe {
-                drop((*self.slot(h).value.get()).assume_init_read());
-                StealOutcome::Stolen((*child.value.get()).assume_init_read())
-            }
+            let stolen = unsafe {
+                drop((*self.slot(h).value.read()).assume_init_read());
+                (*child.value.read()).assume_init_read()
+            };
+            // Release (KEPT): publishes the value reads above to the
+            // owner's push (`cleaned` Acquire load) before the physical
+            // slots can be recycled at indices h + capacity, h + 1 +
+            // capacity. Still under the lock, so thieves stay serialised.
+            self.cleaned.store(h + 2, Ordering::Release);
+            StealOutcome::Stolen(stolen)
         } else {
             // Relaxed: ordered by the SeqCst fence below (see the
             // special-path store above for the argument).
@@ -322,7 +361,12 @@ impl<T> TheDeque<T> {
                 return StealOutcome::Empty;
             }
             // SAFETY: index h is exclusively claimed by this thief.
-            StealOutcome::Stolen(unsafe { (*self.slot(h).value.get()).assume_init_read() })
+            let stolen = unsafe { (*self.slot(h).value.read()).assume_init_read() };
+            // Release (KEPT): publishes the value read above to the owner's
+            // push (`cleaned` Acquire load) before the physical slot can be
+            // recycled at index h + capacity. Still under the lock.
+            self.cleaned.store(h + 1, Ordering::Release);
+            StealOutcome::Stolen(stolen)
         }
     }
 }
@@ -337,7 +381,7 @@ impl<T> Drop for TheDeque<T> {
             let slot = self.slot(i);
             // SAFETY: exclusive access in Drop; [h, t) entries are live.
             unsafe {
-                (*slot.value.get()).assume_init_drop();
+                (*slot.value.write()).assume_init_drop();
             }
             i += 1;
         }

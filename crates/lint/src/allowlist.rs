@@ -51,6 +51,7 @@ impl Allowlist {
                 findings.push(Finding {
                     file: ALLOWLIST_FILE.to_string(),
                     line: e.line,
+                    col: 1,
                     rule: Rule::Allowlist,
                     msg: format!("parse error: {}", e.msg),
                 });
@@ -63,6 +64,7 @@ impl Allowlist {
                 findings.push(Finding {
                     file: ALLOWLIST_FILE.to_string(),
                     line: t.line,
+                    col: 1,
                     rule: Rule::Allowlist,
                     msg: format!("unknown table `[[{}]]` (expected `[[allow]]`)", t.name),
                 });
@@ -75,6 +77,7 @@ impl Allowlist {
                 findings.push(Finding {
                     file: ALLOWLIST_FILE.to_string(),
                     line: t.line,
+                    col: 1,
                     rule: Rule::Allowlist,
                     msg: "entry must set both `file` and `rule`".to_string(),
                 });
@@ -84,6 +87,7 @@ impl Allowlist {
                 findings.push(Finding {
                     file: ALLOWLIST_FILE.to_string(),
                     line: t.line,
+                    col: 1,
                     rule: Rule::Allowlist,
                     msg: format!(
                         "rule `{rule}` cannot be allowlisted (allowed: {})",
@@ -96,6 +100,7 @@ impl Allowlist {
                 findings.push(Finding {
                     file: ALLOWLIST_FILE.to_string(),
                     line: t.line,
+                    col: 1,
                     rule: Rule::Allowlist,
                     msg: format!("entry for `{file}` has no justification (`why`)"),
                 });
@@ -138,6 +143,7 @@ impl Allowlist {
                 findings.push(Finding {
                     file: ALLOWLIST_FILE.to_string(),
                     line: e.line,
+                    col: 1,
                     rule: Rule::Allowlist,
                     msg: format!(
                         "stale entry: rule `{}` at `{}`{} no longer matches any site — remove it",

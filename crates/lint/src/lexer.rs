@@ -21,11 +21,13 @@ pub enum TokKind {
     Punct(char),
 }
 
-/// One token with the 1-based line it starts on.
+/// One token with the 1-based line and column it starts on.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column on that line (diagnostics use `file:line:col`).
+    pub col: u32,
     /// Token payload.
     pub kind: TokKind,
 }
@@ -49,6 +51,17 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
     let mut line = 1u32;
     let mut toks = Vec::new();
     let mut comments = Vec::new();
+
+    // Byte offset of each line start, so a token's 1-based column is
+    // `offset - line_starts[line - 1] + 1` without threading a counter
+    // through the multiline string/comment scanners.
+    let mut line_starts = vec![0usize];
+    for (off, byte) in b.iter().enumerate() {
+        if *byte == b'\n' {
+            line_starts.push(off + 1);
+        }
+    }
+    let col_at = |l: u32, off: usize| (off - line_starts[(l - 1) as usize] + 1) as u32;
 
     while i < b.len() {
         let c = b[i];
@@ -96,9 +109,11 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
             }
             b'"' => {
                 let tok_line = line;
+                let tok_col = col_at(line, i);
                 let (text, ni, nl) = scan_string(src, i, line);
                 toks.push(Tok {
                     line: tok_line,
+                    col: tok_col,
                     kind: TokKind::Str(text),
                 });
                 i = ni;
@@ -167,15 +182,18 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                                 }
                                 toks.push(Tok {
                                     line,
+                                    col: col_at(line, start),
                                     kind: TokKind::Ident(src[rs..i].to_string()),
                                 });
                                 continue;
                             }
                         }
                         let tok_line = line;
+                        let tok_col = col_at(line, start);
                         let (text, ni, nl) = scan_raw_string(src, i, line);
                         toks.push(Tok {
                             line: tok_line,
+                            col: tok_col,
                             kind: TokKind::Str(text),
                         });
                         i = ni;
@@ -183,9 +201,11 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     }
                     ("b", Some(b'"')) => {
                         let tok_line = line;
+                        let tok_col = col_at(line, start);
                         let (text, ni, nl) = scan_string(src, i + 1, line);
                         toks.push(Tok {
                             line: tok_line,
+                            col: tok_col,
                             kind: TokKind::Str(text),
                         });
                         i = ni;
@@ -207,6 +227,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     }
                     _ => toks.push(Tok {
                         line,
+                        col: col_at(line, start),
                         kind: TokKind::Ident(ident.to_string()),
                     }),
                 }
@@ -230,6 +251,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
             _ => {
                 toks.push(Tok {
                     line,
+                    col: col_at(line, i),
                     kind: TokKind::Punct(c as char),
                 });
                 i += 1;

@@ -32,11 +32,13 @@ pub mod manifest;
 pub mod model;
 pub mod rules;
 pub mod spans;
-mod toml;
+pub mod toml;
+pub mod verdicts;
 
 pub use allowlist::ALLOWLIST_FILE;
 pub use manifest::ORDERINGS_FILE;
 pub use model::{Finding, Rule};
+pub use verdicts::{MINIMIZE_FILE, VERDICTS_FILE};
 
 use allowlist::Allowlist;
 use std::fs;
@@ -71,6 +73,7 @@ pub fn analyze(root: &Path) -> io::Result<Vec<Finding>> {
         findings.push(Finding {
             file: ORDERINGS_FILE.to_string(),
             line: 1,
+            col: 1,
             rule: Rule::Manifest,
             msg: format!(
                 "{ORDERINGS_FILE} is missing but the tree has {} `Ordering::` site group(s); run `cargo run -p adaptivetc-lint -- --bless`",
@@ -149,6 +152,68 @@ pub fn bless(root: &Path) -> io::Result<BlessReport> {
         entries: entries.len(),
         unjustified,
         design_updated,
+    })
+}
+
+/// Run the ordering-minimization cross-checks (`--orderings-verify`):
+/// every covered `Ordering::` site must carry a fresh
+/// `ORDERING_VERDICTS.toml` verdict, `unexercised` verdicts fail hard,
+/// and `weakenable` verdicts need a justified `MINIMIZE.toml` entry.
+pub fn verify_orderings(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = model::load_workspace(root)?;
+    let sites = verdicts::covered_sites(&files);
+    let mut findings = Vec::new();
+
+    let verdicts_path = root.join(VERDICTS_FILE);
+    let verdicts = if verdicts_path.is_file() {
+        verdicts::parse_verdicts(&fs::read_to_string(&verdicts_path)?, &mut findings)
+    } else {
+        findings.push(Finding {
+            file: VERDICTS_FILE.to_string(),
+            line: 1,
+            col: 1,
+            rule: Rule::Verdict,
+            msg: format!(
+                "{VERDICTS_FILE} is missing; run `cargo run -p adaptivetc-check --bin ordering_audit`"
+            ),
+        });
+        Vec::new()
+    };
+    let minimize_text = read_or_empty(&root.join(MINIMIZE_FILE))?;
+    let minimize = verdicts::parse_minimize(&minimize_text, &mut findings);
+
+    verdicts::check(&sites, &verdicts, &minimize, &mut findings);
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(findings)
+}
+
+/// What `--orderings-verify --bless` changed.
+#[derive(Debug)]
+pub struct MinimizeReport {
+    /// `weakenable` verdicts found (→ `[[keep]]` skeletons written).
+    pub weakenable: usize,
+    /// Skeletons still missing a justification.
+    pub unjustified: usize,
+}
+
+/// Regenerate `MINIMIZE.toml` skeletons from the `weakenable` verdicts,
+/// preserving existing justifications by key.
+pub fn bless_minimize(root: &Path) -> io::Result<MinimizeReport> {
+    let mut scratch = Vec::new(); // parse problems are irrelevant while blessing
+    let verdicts_path = root.join(VERDICTS_FILE);
+    let verdicts = if verdicts_path.is_file() {
+        verdicts::parse_verdicts(&fs::read_to_string(&verdicts_path)?, &mut scratch)
+    } else {
+        Vec::new()
+    };
+    let minimize_path = root.join(MINIMIZE_FILE);
+    let old = verdicts::parse_minimize(&read_or_empty(&minimize_path)?, &mut scratch);
+    let text = verdicts::render_minimize(&verdicts, &old);
+    fs::write(&minimize_path, &text)?;
+    let fresh = verdicts::parse_minimize(&text, &mut scratch);
+    Ok(MinimizeReport {
+        weakenable: fresh.len(),
+        unjustified: fresh.iter().filter(|m| m.why.trim().is_empty()).count(),
     })
 }
 

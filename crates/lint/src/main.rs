@@ -1,9 +1,12 @@
 //! CLI for the concurrency-invariant analyzer.
 //!
 //! ```text
-//! cargo run -p adaptivetc-lint              # check; exit 1 on findings
-//! cargo run -p adaptivetc-lint -- --bless   # regenerate ORDERINGS.toml + DESIGN table
-//! cargo run -p adaptivetc-lint -- --root P  # analyze the workspace at P
+//! cargo run -p adaptivetc-lint                        # check; exit 1 on findings
+//! cargo run -p adaptivetc-lint -- --bless             # regenerate ORDERINGS.toml + DESIGN table
+//! cargo run -p adaptivetc-lint -- --orderings-verify  # cross-check ORDERING_VERDICTS.toml
+//! cargo run -p adaptivetc-lint -- --orderings-verify --bless
+//!                                                     # rewrite MINIMIZE.toml skeletons
+//! cargo run -p adaptivetc-lint -- --root P            # analyze the workspace at P
 //! ```
 
 use std::path::PathBuf;
@@ -12,10 +15,12 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut bless = false;
+    let mut orderings_verify = false;
     let mut root: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--bless" => bless = true,
+            "--orderings-verify" => orderings_verify = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -26,11 +31,14 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "adaptivetc-lint: concurrency-invariant static analyzer\n\n\
-                     USAGE: adaptivetc-lint [--root PATH] [--bless]\n\n\
+                     USAGE: adaptivetc-lint [--root PATH] [--bless] [--orderings-verify]\n\n\
                      Default mode checks facade integrity, the ORDERINGS.toml memory-ordering\n\
                      audit, unsafe hygiene and trace discipline; exits 1 on findings.\n\
                      --bless regenerates ORDERINGS.toml (preserving justifications) and the\n\
-                     generated DESIGN.md audit table."
+                     generated DESIGN.md audit table.\n\
+                     --orderings-verify cross-checks ORDERING_VERDICTS.toml (from the\n\
+                     crates/check ordering_audit binary) and MINIMIZE.toml against the tree;\n\
+                     with --bless it rewrites MINIMIZE.toml skeletons instead."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -54,6 +62,55 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if orderings_verify && bless {
+        return match adaptivetc_lint::bless_minimize(&root) {
+            Ok(report) => {
+                println!(
+                    "blessed {}: {} weakenable verdict(s) → [[keep]] skeletons ({} still unjustified)",
+                    adaptivetc_lint::MINIMIZE_FILE,
+                    report.weakenable,
+                    report.unjustified
+                );
+                if report.unjustified > 0 {
+                    println!(
+                        "fill in every empty `why = \"\"` in {} — --orderings-verify fails on unjustified entries",
+                        adaptivetc_lint::MINIMIZE_FILE
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if orderings_verify {
+        return match adaptivetc_lint::verify_orderings(&root) {
+            Ok(findings) if findings.is_empty() => {
+                println!(
+                    "adaptivetc-lint --orderings-verify: clean ({})",
+                    root.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!(
+                    "adaptivetc-lint --orderings-verify: {} finding(s)",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("analysis failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if bless {
         match adaptivetc_lint::bless(&root) {

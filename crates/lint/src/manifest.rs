@@ -74,6 +74,7 @@ pub fn parse_manifest(text: &str, findings: &mut Vec<Finding>) -> Vec<ManifestEn
             findings.push(Finding {
                 file: ORDERINGS_FILE.to_string(),
                 line: e.line,
+                col: 1,
                 rule: Rule::Manifest,
                 msg: format!("parse error: {}", e.msg),
             });
@@ -86,6 +87,7 @@ pub fn parse_manifest(text: &str, findings: &mut Vec<Finding>) -> Vec<ManifestEn
             findings.push(Finding {
                 file: ORDERINGS_FILE.to_string(),
                 line: t.line,
+                col: 1,
                 rule: Rule::Manifest,
                 msg: format!("unknown table `[[{}]]` (expected `[[site]]`)", t.name),
             });
@@ -98,6 +100,7 @@ pub fn parse_manifest(text: &str, findings: &mut Vec<Finding>) -> Vec<ManifestEn
             findings.push(Finding {
                 file: ORDERINGS_FILE.to_string(),
                 line: t.line,
+                col: 1,
                 rule: Rule::Manifest,
                 msg: "entry must set `file`, `symbol` and `ordering`".to_string(),
             });
@@ -107,6 +110,7 @@ pub fn parse_manifest(text: &str, findings: &mut Vec<Finding>) -> Vec<ManifestEn
             findings.push(Finding {
                 file: ORDERINGS_FILE.to_string(),
                 line: t.line,
+                col: 1,
                 rule: Rule::Manifest,
                 msg: format!("unknown ordering `{ordering}`"),
             });
@@ -132,18 +136,22 @@ pub fn check(
     entries: &[ManifestEntry],
     findings: &mut Vec<Finding>,
 ) {
-    let mut by_key: BTreeMap<&SiteKey, &ManifestEntry> = BTreeMap::new();
+    // Repeated `[[site]]` entries for the same key are tolerated: they merge
+    // by summing counts and keeping the first non-empty `why`, so a
+    // hand-split justification (e.g. one entry per call site) still checks
+    // out. `--bless` collapses them back into a single entry.
+    let mut by_key: BTreeMap<&SiteKey, ManifestEntry> = BTreeMap::new();
     for e in entries {
-        if by_key.insert(&e.key, e).is_some() {
-            findings.push(Finding {
-                file: ORDERINGS_FILE.to_string(),
-                line: e.line,
-                rule: Rule::Manifest,
-                msg: format!(
-                    "duplicate entry for {}::{} Ordering::{}",
-                    e.key.file, e.key.symbol, e.key.ordering
-                ),
-            });
+        match by_key.get_mut(&e.key) {
+            Some(prev) => {
+                prev.count += e.count;
+                if prev.why.trim().is_empty() {
+                    prev.why = e.why.clone();
+                }
+            }
+            None => {
+                by_key.insert(&e.key, e.clone());
+            }
         }
     }
     for (key, lines) in sites {
@@ -151,6 +159,7 @@ pub fn check(
             None => findings.push(Finding {
                 file: key.file.clone(),
                 line: lines[0],
+                col: 1,
                 rule: Rule::Ordering,
                 msg: format!(
                     "Ordering::{} in `{}` has no ORDERINGS.toml entry (run `cargo run -p adaptivetc-lint -- --bless` and justify it)",
@@ -162,6 +171,7 @@ pub fn check(
                     findings.push(Finding {
                         file: key.file.clone(),
                         line: lines[0],
+                        col: 1,
                         rule: Rule::Ordering,
                         msg: format!(
                             "Ordering::{} in `{}`: manifest expects {} site(s), found {} — re-bless and re-justify",
@@ -176,6 +186,7 @@ pub fn check(
                     findings.push(Finding {
                         file: ORDERINGS_FILE.to_string(),
                         line: e.line,
+                        col: 1,
                         rule: Rule::Manifest,
                         msg: format!(
                             "entry for {} `{}` Ordering::{} has no justification (`why`)",
@@ -186,15 +197,16 @@ pub fn check(
             }
         }
     }
-    for e in entries {
-        if !sites.contains_key(&e.key) {
+    for (key, e) in &by_key {
+        if !sites.contains_key(*key) {
             findings.push(Finding {
                 file: ORDERINGS_FILE.to_string(),
                 line: e.line,
+                col: 1,
                 rule: Rule::Manifest,
                 msg: format!(
                     "stale entry: {} `{}` Ordering::{} no longer exists in the tree",
-                    e.key.file, e.key.symbol, e.key.ordering
+                    key.file, key.symbol, key.ordering
                 ),
             });
         }
@@ -237,4 +249,52 @@ pub fn render(sites: &BTreeMap<SiteKey, Vec<u32>>, old: &[ManifestEntry]) -> Str
         out.push_str(&format!("why = {}\n", quote(why)));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ordering: &str, count: u64, why: &str, line: u32) -> ManifestEntry {
+        ManifestEntry {
+            key: SiteKey {
+                file: "crates/x/src/lib.rs".to_string(),
+                symbol: "f".to_string(),
+                ordering: ordering.to_string(),
+            },
+            count,
+            why: why.to_string(),
+            line,
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_merge_counts_and_why() {
+        let mut sites: BTreeMap<SiteKey, Vec<u32>> = BTreeMap::new();
+        sites.insert(entry("Acquire", 0, "", 0).key, vec![10, 20, 30]);
+        // Three hand-split entries for the same key: counts sum to the
+        // observed 3 and the first non-empty `why` wins — no findings.
+        let entries = vec![
+            entry("Acquire", 1, "", 1),
+            entry("Acquire", 1, "pairs with the Release in g", 5),
+            entry("Acquire", 1, "ignored later why", 9),
+        ];
+        let mut findings = Vec::new();
+        check(&sites, &entries, &mut findings);
+        assert!(
+            findings.is_empty(),
+            "merged duplicates should be clean: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn merged_count_mismatch_is_still_flagged() {
+        let mut sites: BTreeMap<SiteKey, Vec<u32>> = BTreeMap::new();
+        sites.insert(entry("Release", 0, "", 0).key, vec![10]);
+        let entries = vec![entry("Release", 1, "w", 1), entry("Release", 1, "w", 5)];
+        let mut findings = Vec::new();
+        check(&sites, &entries, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].msg.contains("expects 2 site(s), found 1"));
+    }
 }

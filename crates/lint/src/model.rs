@@ -27,6 +27,13 @@ pub enum Rule {
     Manifest,
     /// The generated DESIGN.md audit section is out of sync.
     Design,
+    /// An `ORDERING_VERDICTS.toml` problem from the ordering-minimization
+    /// audit: a covered site with no verdict, a stale verdict, or an
+    /// `unexercised` site no bounded suite reaches.
+    Verdict,
+    /// A `weakenable` verdict not yet applied or justified in
+    /// `MINIMIZE.toml` (advisory), or a stale `MINIMIZE.toml` entry.
+    Minimize,
 }
 
 impl Rule {
@@ -40,17 +47,22 @@ impl Rule {
             Rule::Allowlist => "allowlist",
             Rule::Manifest => "manifest",
             Rule::Design => "design",
+            Rule::Verdict => "verdict",
+            Rule::Minimize => "minimize",
         }
     }
 }
 
-/// One diagnostic: `file:line: [rule] message`.
+/// One diagnostic: `file:line:col: [rule] message`.
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Workspace-relative path with forward slashes.
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based byte column; `1` when the finding is about a whole line
+    /// (manifest/allowlist entries) rather than a specific token.
+    pub col: u32,
     /// Violated invariant.
     pub rule: Rule,
     /// Human explanation.
@@ -61,9 +73,10 @@ impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: [{}] {}",
             self.file,
             self.line,
+            self.col,
             self.rule.name(),
             self.msg
         )

@@ -88,6 +88,7 @@ pub fn check_facade(f: &SourceFile, allow: &Allowlist, out: &mut Vec<Finding>) {
                 out.push(Finding {
                     file: f.rel.clone(),
                     line,
+                    col: t.col,
                     rule: Rule::Facade,
                     msg: format!("{what} (in `{symbol}`)"),
                 });
@@ -127,6 +128,7 @@ pub fn check_unsafe(f: &SourceFile, allow: &Allowlist, out: &mut Vec<Finding>) {
         out.push(Finding {
             file: f.rel.clone(),
             line,
+            col: t.col,
             rule: Rule::UnsafeHygiene,
             msg: format!("`unsafe` without an adjacent `// SAFETY:` comment (in `{symbol}`)"),
         });
@@ -208,6 +210,7 @@ pub fn check_trace_gate(f: &SourceFile, allow: &Allowlist, out: &mut Vec<Finding
         out.push(Finding {
             file: f.rel.clone(),
             line,
+            col: t.col,
             rule: Rule::TraceGate,
             msg: format!("{what} (in `{symbol}`)"),
         });

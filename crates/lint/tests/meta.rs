@@ -47,9 +47,10 @@ fn raw_atomic_outside_facade_is_flagged() {
     let f = only("raw-atomic", Rule::Facade);
     assert_eq!(f.file, "crates/foo/src/lib.rs");
     assert_eq!(f.line, 2);
+    assert_eq!(f.col, 5, "column of `std` in `use std::sync::atomic...`");
     assert!(f
         .to_string()
-        .starts_with("crates/foo/src/lib.rs:2: [facade]"));
+        .starts_with("crates/foo/src/lib.rs:2:5: [facade]"));
 }
 
 #[test]

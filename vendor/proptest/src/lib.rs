@@ -239,6 +239,23 @@ pub mod strategy {
         Box::new(s)
     }
 
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+
     macro_rules! int_range_strategy {
         ($($ty:ty),*) => {$(
             impl Strategy for Range<$ty> {
@@ -316,6 +333,242 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.0.clone().generate(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s; see [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generate maps with a target size in `size`. As in the real crate,
+    /// duplicate generated keys collapse, so a map may come out smaller
+    /// than the drawn target (never smaller than 1 for a non-empty range).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.0.clone().generate(rng);
+            let mut map = std::collections::BTreeMap::new();
+            // Colliding keys collapse; a few extra draws keep the map near
+            // its target without risking an unbounded loop.
+            for _ in 0..len.saturating_mul(3) {
+                if map.len() >= len {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option`s; see [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generate `Some` from `inner` about three times in four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// String strategies over a small regex subset.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::ops::RangeInclusive;
+
+    /// A malformed or unsupported pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex atom: the characters it may produce and its repetition.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        ranges: Vec<RangeInclusive<char>>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy for strings matching a pattern; see [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Generate strings matching a regex made of literal characters and
+    /// character classes (`[a-z_]`, with `\\`-escapes), each optionally
+    /// quantified with `{n}`, `{m,n}`, `?`, `*` or `+` (unbounded
+    /// quantifiers are capped at 8 repetitions). This is the subset the
+    /// workspace's tests use; anything else is an [`Error`].
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let ranges = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = match chars.next() {
+                            None => return Err(Error("unterminated class".into())),
+                            Some(']') => break,
+                            Some('\\') => chars
+                                .next()
+                                .ok_or_else(|| Error("dangling escape".into()))?,
+                            Some(other) => other,
+                        };
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = match chars.next() {
+                                None | Some(']') => {
+                                    return Err(Error("class ends inside a range".into()))
+                                }
+                                Some('\\') => chars
+                                    .next()
+                                    .ok_or_else(|| Error("dangling escape".into()))?,
+                                Some(other) => other,
+                            };
+                            if lo > hi {
+                                return Err(Error(format!("inverted range {lo}-{hi}")));
+                            }
+                            ranges.push(lo..=hi);
+                        } else {
+                            ranges.push(lo..=lo);
+                        }
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    ranges
+                }
+                '\\' => {
+                    let lit = chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    vec![lit..=lit]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error(format!("unsupported metacharacter `{c}`")))
+                }
+                lit => vec![lit..=lit],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|_| Error(format!("bad quantifier `{{{spec}}}`")))
+                    };
+                    match spec.split_once(',') {
+                        Some((m, n)) => (parse(m)?, parse(n)?),
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error(format!("quantifier minimum {min} exceeds {max}")));
+            }
+            pieces.push(Piece { ranges, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for p in &self.pieces {
+                let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+                let total: u64 = p
+                    .ranges
+                    .iter()
+                    .map(|r| *r.end() as u64 - *r.start() as u64 + 1)
+                    .sum();
+                for _ in 0..n {
+                    let mut pick = rng.below(total);
+                    for r in &p.ranges {
+                        let width = *r.end() as u64 - *r.start() as u64 + 1;
+                        if pick < width {
+                            out.push(
+                                char::from_u32(*r.start() as u32 + pick as u32)
+                                    .expect("ranges hold valid chars"),
+                            );
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+            }
+            out
         }
     }
 }
@@ -449,6 +702,40 @@ mod tests {
         }
     }
 
+    #[test]
+    fn string_regex_matches_its_pattern() {
+        let s = crate::string::string_regex("[!-~][ -~]{0,8}x\\]?").unwrap();
+        let mut rng = crate::test_runner::TestRng::for_case("re", 0);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..=11).contains(&v.len()), "{v:?}");
+            let first = v.chars().next().unwrap();
+            assert!(('!'..='~').contains(&first), "{v:?}");
+            assert!(v.chars().all(|c| (' '..='~').contains(&c) || c == ']'));
+            assert!(v.trim_end_matches(']').ends_with('x'), "{v:?}");
+        }
+        assert!(crate::string::string_regex("[a-").is_err());
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("[z-a]").is_err());
+    }
+
+    #[test]
+    fn btree_map_respects_size_and_option_covers_both() {
+        let s = crate::collection::btree_map(0u32..1000, 0u32..10, 2..6);
+        let o = crate::option::of(0u32..10);
+        let mut rng = crate::test_runner::TestRng::for_case("map", 0);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..200 {
+            let m = s.generate(&mut rng);
+            assert!((1..6).contains(&m.len()), "{m:?}");
+            match o.generate(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
@@ -456,6 +743,12 @@ mod tests {
             prop_assert!(v.len() < 20);
             prop_assert!(k >= 1);
             prop_assert_eq!(v.iter().sum::<u64>(), v.iter().rev().sum::<u64>());
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u32..10, crate::collection::vec(0u8..3, 0..4))) {
+            let (a, v) = pair;
+            prop_assert!(a < 10 && v.len() < 4);
         }
     }
 }

@@ -1,0 +1,453 @@
+//! Vector-clock happens-before tracking for the explorer.
+//!
+//! When [`crate::Config::check_races`] is on, every event the cooperative
+//! scheduler already intercepts — atomic loads/stores/RMWs, fences, mutex
+//! lock/unlock, spawn/join — maintains a happens-before relation, and
+//! every *plain* (non-atomic) access routed through
+//! [`crate::sync::RaceCell`] is checked against it: two accesses to the
+//! same cell, at least one a write, with neither ordered before the other,
+//! are a data race and fail the exploration with a replayable trail even
+//! though no assertion fired.
+//!
+//! The model follows FastTrack (Flanagan & Freund, PLDI 2009) for the
+//! per-variable metadata — a last-write epoch plus *adaptive* read
+//! metadata that stays a single epoch while reads are totally ordered and
+//! escalates to a full read vector only when concurrent readers appear —
+//! and the C11/C++20 synchronizes-with rules for where edges come from:
+//!
+//! * a Release/AcqRel/SeqCst store publishes the writer's clock on the
+//!   object; an Acquire/AcqRel/SeqCst load joins it;
+//! * a Relaxed store publishes the writer's clock *as of its last
+//!   release-class fence* (the fence-before-store rule); a Relaxed load
+//!   banks the object's clock into a pending set that a later
+//!   acquire-class fence joins (the load-before-fence rule);
+//! * an RMW continues the release sequence of the store it read
+//!   (C++20: the object clock is joined, not replaced), so fetch-ops
+//!   never truncate an edge published before them;
+//! * mutexes carry a clock from unlock to lock; spawn and join edge the
+//!   parent and child clocks directly.
+//!
+//! The explorer itself enumerates sequentially consistent (or x86-TSO)
+//! interleavings, so each load reads the latest store of its object in
+//! the current schedule and one clock per object is exact — no
+//! modification-order approximation is needed.
+
+use std::sync::atomic::Ordering;
+
+/// A vector clock: component `t` is the number of events thread `t` had
+/// performed when this clock was last synchronized with it. Indexing is
+/// implicit-zero beyond the stored length, so clocks of different widths
+/// compare fine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Pointwise maximum (`self ⊔ other`).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// Whether the epoch `(t, c)` happens-before (or is) this clock.
+    pub(crate) fn covers(&self, t: usize, c: u64) -> bool {
+        self.get(t) >= c
+    }
+
+    /// Order-insensitive-but-indexed digest for state hashing.
+    pub(crate) fn digest(&self, mix2: fn(u64, u64) -> u64) -> u64 {
+        let mut h = 0u64;
+        for (i, &v) in self.0.iter().enumerate() {
+            if v != 0 {
+                h ^= mix2(i as u64 + 1, v);
+            }
+        }
+        h
+    }
+}
+
+/// Per-thread happens-before state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ThreadHb {
+    /// The thread's own clock. `vc[t]` for the thread's own index is its
+    /// event counter, ticked on every instrumented operation.
+    pub vc: VClock,
+    /// Snapshot of `vc` at the thread's last Release/AcqRel/SeqCst fence:
+    /// what a subsequent *Relaxed* store publishes (fence-before-store).
+    pub rel_fence: VClock,
+    /// Accumulated clocks of objects read with *Relaxed* loads since the
+    /// last acquire-class fence; joined into `vc` at that fence
+    /// (load-before-fence).
+    pub acq_pending: VClock,
+}
+
+/// FastTrack-style adaptive read metadata.
+#[derive(Clone, Debug)]
+pub(crate) enum Reads {
+    /// No reads since the last write.
+    None,
+    /// All reads so far are totally ordered; only the latest epoch matters.
+    Epoch(usize, u64),
+    /// Concurrent readers were observed; full per-thread read clocks.
+    Vec(VClock),
+}
+
+/// Race-checked metadata of one plain (non-atomic) variable.
+#[derive(Clone, Debug)]
+pub(crate) struct VarState {
+    /// Epoch of the last write (thread, clock), if any.
+    pub write: Option<(usize, u64)>,
+    pub reads: Reads,
+}
+
+impl VarState {
+    pub(crate) fn new() -> Self {
+        VarState {
+            write: None,
+            reads: Reads::None,
+        }
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// The full happens-before state of one execution, embedded in the
+/// explorer's `RtState` and updated inside the scheduler lock.
+#[derive(Debug, Default)]
+pub(crate) struct HbState {
+    pub threads: Vec<ThreadHb>,
+    /// Object id (atomic or mutex) -> clock its last release-class
+    /// publication carries.
+    pub objects: std::collections::HashMap<u64, VClock>,
+    /// Race-checked plain variable id -> FastTrack metadata.
+    pub vars: std::collections::HashMap<u64, VarState>,
+}
+
+impl HbState {
+    /// Ensure thread `t` exists and return it (threads are appended by
+    /// spawn in index order, so this only ever extends by one).
+    fn thread(&mut self, t: usize) -> &mut ThreadHb {
+        while self.threads.len() <= t {
+            let idx = self.threads.len();
+            let mut th = ThreadHb::default();
+            th.vc.set(idx, 1);
+            self.threads.push(th);
+        }
+        &mut self.threads[t]
+    }
+
+    /// Advance thread `t`'s own component: every instrumented event gets a
+    /// distinct epoch.
+    pub(crate) fn tick(&mut self, t: usize) {
+        let th = self.thread(t);
+        let c = th.vc.get(t) + 1;
+        th.vc.set(t, c);
+    }
+
+    /// Atomic load of object `id` with ordering `o`.
+    pub(crate) fn atomic_load(&mut self, t: usize, id: u64, o: Ordering) {
+        self.tick(t);
+        let Some(msg) = self.objects.get(&id).cloned() else {
+            return;
+        };
+        let th = self.thread(t);
+        if is_acquire(o) {
+            th.vc.join(&msg);
+        } else {
+            th.acq_pending.join(&msg);
+        }
+    }
+
+    /// Atomic store to object `id` with ordering `o`. A release-class
+    /// store starts a fresh release sequence (replacing the object clock);
+    /// a relaxed store publishes only what the thread's last release
+    /// fence covered.
+    pub(crate) fn atomic_store(&mut self, t: usize, id: u64, o: Ordering) {
+        self.tick(t);
+        let th = self.thread(t);
+        let published = if is_release(o) {
+            th.vc.clone()
+        } else {
+            th.rel_fence.clone()
+        };
+        self.objects.insert(id, published);
+    }
+
+    /// Atomic read-modify-write (successful). Acquires like a load,
+    /// releases like a store, and *continues* the release sequence: the
+    /// published clock joins the previous one instead of replacing it
+    /// (C++20 [intro.races]: an RMW is part of the release sequence headed
+    /// by the store it read from).
+    pub(crate) fn atomic_rmw(&mut self, t: usize, id: u64, o: Ordering) {
+        self.tick(t);
+        let prev = self.objects.get(&id).cloned().unwrap_or_default();
+        let th = self.thread(t);
+        if is_acquire(o) {
+            th.vc.join(&prev);
+        } else {
+            th.acq_pending.join(&prev);
+        }
+        let mut published = if is_release(o) {
+            th.vc.clone()
+        } else {
+            th.rel_fence.clone()
+        };
+        published.join(&prev);
+        self.objects.insert(id, published);
+    }
+
+    /// Memory fence with ordering `o`.
+    pub(crate) fn fence(&mut self, t: usize, o: Ordering) {
+        self.tick(t);
+        let th = self.thread(t);
+        if is_acquire(o) {
+            let pending = std::mem::take(&mut th.acq_pending);
+            th.vc.join(&pending);
+        }
+        if is_release(o) {
+            th.rel_fence = th.vc.clone();
+        }
+    }
+
+    /// Mutex acquisition: join the clock the last unlock published.
+    pub(crate) fn lock(&mut self, t: usize, id: u64) {
+        self.tick(t);
+        let Some(msg) = self.objects.get(&id).cloned() else {
+            return;
+        };
+        self.thread(t).vc.join(&msg);
+    }
+
+    /// Mutex release: publish the holder's clock on the mutex.
+    pub(crate) fn unlock(&mut self, t: usize, id: u64) {
+        self.tick(t);
+        let vc = self.thread(t).vc.clone();
+        self.objects.insert(id, vc);
+    }
+
+    /// Spawn edge: the child starts with (a copy of) the parent's clock.
+    pub(crate) fn spawn(&mut self, parent: usize, child: usize) {
+        self.tick(parent);
+        let pvc = self.thread(parent).vc.clone();
+        let th = self.thread(child);
+        th.vc.join(&pvc);
+        let c = th.vc.get(child) + 1;
+        th.vc.set(child, c);
+    }
+
+    /// Join edge: the parent inherits everything the child did.
+    pub(crate) fn join(&mut self, parent: usize, child: usize) {
+        let cvc = self.thread(child).vc.clone();
+        self.tick(parent);
+        self.thread(parent).vc.join(&cvc);
+    }
+
+    /// Plain read of race-checked variable `id` by thread `t`. Returns a
+    /// race description against the last write if one is concurrent.
+    pub(crate) fn plain_read(&mut self, t: usize, id: u64, tag: &str) -> Option<String> {
+        self.tick(t);
+        let vc = self.thread(t).vc.clone();
+        let var = self.vars.entry(id).or_insert_with(VarState::new);
+        if let Some((wt, wc)) = var.write {
+            if wt != t && !vc.covers(wt, wc) {
+                return Some(format!(
+                    "data race on {tag}#{id}: plain read by t{t} concurrent with plain write by t{wt} (no happens-before edge)"
+                ));
+            }
+        }
+        let epoch = vc.get(t);
+        var.reads = match std::mem::replace(&mut var.reads, Reads::None) {
+            Reads::None => Reads::Epoch(t, epoch),
+            Reads::Epoch(rt, rc) => {
+                if rt == t || vc.covers(rt, rc) {
+                    // Still totally ordered: the new read supersedes.
+                    Reads::Epoch(t, epoch)
+                } else {
+                    // Concurrent readers: escalate to a read vector.
+                    let mut rv = VClock::default();
+                    rv.set(rt, rc);
+                    rv.set(t, epoch);
+                    Reads::Vec(rv)
+                }
+            }
+            Reads::Vec(mut rv) => {
+                rv.set(t, epoch.max(rv.get(t)));
+                Reads::Vec(rv)
+            }
+        };
+        None
+    }
+
+    /// Plain write of race-checked variable `id` by thread `t`. Returns a
+    /// race description against a concurrent write or read.
+    pub(crate) fn plain_write(&mut self, t: usize, id: u64, tag: &str) -> Option<String> {
+        self.tick(t);
+        let vc = self.thread(t).vc.clone();
+        let var = self.vars.entry(id).or_insert_with(VarState::new);
+        if let Some((wt, wc)) = var.write {
+            if wt != t && !vc.covers(wt, wc) {
+                return Some(format!(
+                    "data race on {tag}#{id}: plain write by t{t} concurrent with plain write by t{wt} (no happens-before edge)"
+                ));
+            }
+        }
+        match &var.reads {
+            Reads::None => {}
+            Reads::Epoch(rt, rc) => {
+                if *rt != t && !vc.covers(*rt, *rc) {
+                    return Some(format!(
+                        "data race on {tag}#{id}: plain write by t{t} concurrent with plain read by t{rt} (no happens-before edge)"
+                    ));
+                }
+            }
+            Reads::Vec(rv) => {
+                for rt in 0..self.threads.len() {
+                    let rc = rv.get(rt);
+                    if rc != 0 && rt != t && !vc.covers(rt, rc) {
+                        return Some(format!(
+                            "data race on {tag}#{id}: plain write by t{t} concurrent with plain read by t{rt} (no happens-before edge)"
+                        ));
+                    }
+                }
+            }
+        }
+        var.write = Some((t, vc.get(t)));
+        var.reads = Reads::None;
+        None
+    }
+
+    /// Digest of the whole happens-before state, mixed into the explorer's
+    /// state hash when race checking is on — pruning a decision point is
+    /// only sound if the pruned state agrees on everything that can still
+    /// produce a violation, which now includes the clocks.
+    pub(crate) fn digest(&self, mix2: fn(u64, u64) -> u64) -> u64 {
+        let mut h = 0u64;
+        for (i, th) in self.threads.iter().enumerate() {
+            let t = th.vc.digest(mix2)
+                ^ mix2(1, th.rel_fence.digest(mix2))
+                ^ mix2(2, th.acq_pending.digest(mix2));
+            h ^= mix2(i as u64 + 101, t);
+        }
+        for (&id, vc) in &self.objects {
+            h ^= mix2(id.wrapping_mul(3), vc.digest(mix2));
+        }
+        for (&id, var) in &self.vars {
+            let mut v = match var.write {
+                Some((t, c)) => mix2(t as u64 + 7, c),
+                None => 5,
+            };
+            v ^= match &var.reads {
+                Reads::None => 0,
+                Reads::Epoch(t, c) => mix2(*t as u64 + 13, *c),
+                Reads::Vec(rv) => mix2(17, rv.digest(mix2)),
+            };
+            h ^= mix2(id.wrapping_mul(5), v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_acquire_orders_plain_access() {
+        let mut hb = HbState::default();
+        // t0 writes x, releases flag; t1 acquires flag, reads x.
+        assert!(hb.plain_write(0, 1, "RaceCell").is_none());
+        hb.atomic_store(0, 2, Ordering::Release);
+        hb.atomic_load(1, 2, Ordering::Acquire);
+        assert!(hb.plain_read(1, 1, "RaceCell").is_none());
+    }
+
+    #[test]
+    fn relaxed_flag_does_not_order() {
+        let mut hb = HbState::default();
+        assert!(hb.plain_write(0, 1, "RaceCell").is_none());
+        hb.atomic_store(0, 2, Ordering::Relaxed);
+        hb.atomic_load(1, 2, Ordering::Relaxed);
+        assert!(hb.plain_read(1, 1, "RaceCell").is_some());
+    }
+
+    #[test]
+    fn fences_restore_the_edge_around_relaxed_accesses() {
+        let mut hb = HbState::default();
+        assert!(hb.plain_write(0, 1, "RaceCell").is_none());
+        hb.fence(0, Ordering::Release); // fence-before-store
+        hb.atomic_store(0, 2, Ordering::Relaxed);
+        hb.atomic_load(1, 2, Ordering::Relaxed);
+        hb.fence(1, Ordering::Acquire); // load-before-fence
+        assert!(hb.plain_read(1, 1, "RaceCell").is_none());
+    }
+
+    #[test]
+    fn rmw_continues_the_release_sequence() {
+        let mut hb = HbState::default();
+        assert!(hb.plain_write(0, 1, "RaceCell").is_none());
+        hb.atomic_store(0, 2, Ordering::Release);
+        // A relaxed RMW by a third party must not truncate t0's edge.
+        hb.atomic_rmw(2, 2, Ordering::Relaxed);
+        hb.atomic_load(1, 2, Ordering::Acquire);
+        assert!(hb.plain_read(1, 1, "RaceCell").is_none());
+    }
+
+    #[test]
+    fn relaxed_store_truncates_the_object_clock() {
+        let mut hb = HbState::default();
+        assert!(hb.plain_write(0, 1, "RaceCell").is_none());
+        hb.atomic_store(0, 2, Ordering::Release);
+        // A later plain relaxed store (same thread, no fence) replaces the
+        // clock with the (empty) fence snapshot: acquirers get nothing.
+        hb.atomic_store(0, 2, Ordering::Relaxed);
+        hb.atomic_load(1, 2, Ordering::Acquire);
+        assert!(hb.plain_read(1, 1, "RaceCell").is_some());
+    }
+
+    #[test]
+    fn mutex_and_spawn_join_edges() {
+        let mut hb = HbState::default();
+        hb.spawn(0, 1);
+        assert!(hb.plain_write(1, 1, "RaceCell").is_none()); // child sees parent
+        hb.lock(1, 9);
+        hb.unlock(1, 9);
+        hb.lock(2, 9);
+        assert!(hb.plain_read(2, 1, "RaceCell").is_none()); // via mutex
+        hb.join(0, 1);
+        assert!(hb.plain_write(0, 1, "RaceCell").is_some()); // t2's read unseen
+        hb.join(0, 2);
+        assert!(hb.plain_write(0, 1, "RaceCell").is_none());
+    }
+
+    #[test]
+    fn adaptive_reads_escalate_and_catch_concurrent_reader() {
+        let mut hb = HbState::default();
+        hb.spawn(0, 1);
+        hb.spawn(0, 2);
+        assert!(hb.plain_read(1, 1, "RaceCell").is_none());
+        assert!(hb.plain_read(2, 1, "RaceCell").is_none()); // concurrent: escalates
+                                                            // t0 joins only t1; t2's read is still concurrent with the write.
+        hb.join(0, 1);
+        assert!(hb.plain_write(0, 1, "RaceCell").is_some());
+    }
+}

@@ -11,6 +11,13 @@
 //! [`Config::tso`] switches on an x86-TSO store-buffer model so that
 //! fence-removal bugs (store buffering) become reachable violations.
 //!
+//! [`Config::check_races`] additionally maintains a vector-clock
+//! happens-before relation (module [`hb`], FastTrack-style) and reports
+//! data races on plain accesses through [`sync::RaceCell`] even when no
+//! assertion fires; [`Config::overrides`] substitutes per-site candidate
+//! memory orderings ([`OverrideSet`]) for the ordering-minimization
+//! audit. See DESIGN.md §16.
+//!
 //! ```
 //! let report = shim_sync::explore(shim_sync::Config::default(), || {
 //!     let flag = std::sync::Arc::new(shim_sync::sync::AtomicBool::new(false));
@@ -24,8 +31,12 @@
 //! assert!(report.complete);
 //! ```
 
+mod hb;
 mod rt;
 pub mod sync;
 pub mod thread;
 
-pub use rt::{current_trail, explore, replay, replay_with, Config, Report};
+pub use rt::{
+    current_trail, explore, normalize_path, replay, replay_with, Config, OpKind, OverrideRule,
+    OverrideSet, Report,
+};

@@ -18,8 +18,11 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdGuard};
 use std::time::{Duration, Instant};
+
+use crate::hb::HbState;
 
 /// Panic payload used to unwind model threads during teardown. Never a
 /// reported failure by itself.
@@ -105,6 +108,12 @@ pub(crate) struct RtState {
     record_frames: bool,
     os_handles: Vec<std::thread::JoinHandle<()>>,
     pruned: u64,
+    /// Happens-before race checking (see [`Config::check_races`]).
+    races: bool,
+    /// Vector-clock state; only maintained when `races` is on.
+    hb: HbState,
+    /// Per-site memory-ordering overrides for the minimization audit.
+    overrides: Option<Arc<OverrideSet>>,
 }
 
 pub(crate) struct Ctx {
@@ -172,6 +181,12 @@ fn state_hash(st: &RtState) -> u64 {
             mix2(t.obs_hash, mix2(s, sb)),
         );
     }
+    if st.races {
+        // Pruning is only sound if the pruned state agrees on everything
+        // that can still produce a violation — with race checking on, that
+        // includes the entire happens-before state.
+        h ^= st.hb.digest(mix2);
+    }
     h
 }
 
@@ -200,6 +215,222 @@ fn fail(ctx: &Ctx, st: &mut RtState, msg: String) {
     }
     st.teardown = true;
     ctx.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before hooks (called from the sync facade's post closures, under
+// the scheduler lock with the token held: `st.current` is the executor)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn hb_load(st: &mut RtState, id: u64, o: Ordering) {
+    if st.races {
+        let t = st.current;
+        st.hb.atomic_load(t, id, o);
+    }
+}
+
+pub(crate) fn hb_store(st: &mut RtState, id: u64, o: Ordering) {
+    if st.races {
+        let t = st.current;
+        st.hb.atomic_store(t, id, o);
+    }
+}
+
+/// Successful RMW releases/acquires with `ok`; a failed CAS is a load with
+/// the `err` ordering.
+pub(crate) fn hb_rmw(st: &mut RtState, id: u64, wrote: bool, ok: Ordering, err: Ordering) {
+    if st.races {
+        let t = st.current;
+        if wrote {
+            st.hb.atomic_rmw(t, id, ok);
+        } else {
+            st.hb.atomic_load(t, id, err);
+        }
+    }
+}
+
+pub(crate) fn hb_fence(st: &mut RtState, o: Ordering) {
+    if st.races {
+        let t = st.current;
+        st.hb.fence(t, o);
+    }
+}
+
+/// Register a race-checked plain variable ([`crate::sync::RaceCell`]).
+/// Returns 0 outside an active execution (the cell then passes through).
+pub(crate) fn register_race_var() -> u64 {
+    match tls() {
+        Some((ctx, _)) if !std::thread::panicking() => {
+            let mut g = lock(&ctx);
+            g.next_obj_id += 1;
+            g.next_obj_id
+        }
+        _ => 0,
+    }
+}
+
+pub(crate) fn unregister_race_var(id: u64) {
+    if id == 0 || std::thread::panicking() {
+        return;
+    }
+    if let Some((ctx, _)) = tls() {
+        lock(&ctx).hb.vars.remove(&id);
+    }
+}
+
+/// A plain (non-atomic) access to race-checked variable `id`: a yield
+/// point like any other shared-memory operation, plus a happens-before
+/// check against every concurrent access recorded so far. On a race the
+/// execution fails with a replayable trail and this function unwinds
+/// *before* the caller touches the underlying memory.
+pub(crate) fn race_access(id: u64, is_write: bool, tag: &str) {
+    if id == 0 {
+        return;
+    }
+    let raced = std::cell::Cell::new(false);
+    model_op(
+        || (),
+        |_, st| {
+            let kind = if is_write { "write" } else { "read" };
+            if st.races {
+                let t = st.current;
+                let report = if is_write {
+                    st.hb.plain_write(t, id, tag)
+                } else {
+                    st.hb.plain_read(t, id, tag)
+                };
+                if let Some(msg) = report {
+                    raced.set(true);
+                    // `fail` without the Ctx: set the violation directly.
+                    // The racing thread aborts below; its unwind through
+                    // `thread_main` notifies every parked thread, which
+                    // then observe `teardown` and unwind too.
+                    if st.violation.is_none() {
+                        st.violation = Some(msg);
+                    }
+                    st.teardown = true;
+                }
+            }
+            (u64::from(is_write), format!("{tag}#{id} plain {kind}"))
+        },
+    );
+    if raced.get() {
+        abort();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-site ordering overrides (the minimization audit)
+// ---------------------------------------------------------------------------
+
+/// What kind of operation an ordering parameter belongs to — weakening is
+/// kind-dependent (`SeqCst` steps down to `Acquire` on a load but to
+/// `Release` on a store), and a `compare_exchange` resolves its success
+/// ordering as [`OpKind::Rmw`] and its failure ordering as [`OpKind::Load`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    Load,
+    Store,
+    Rmw,
+    Fence,
+}
+
+/// One site-targeted ordering substitution.
+#[derive(Debug)]
+pub struct OverrideRule {
+    /// `/`-separated suffix of the normalized source path
+    /// (e.g. `crates/deque/src/the.rs`).
+    pub file_suffix: String,
+    /// Source lines of the targeted `Ordering::` tokens. A rule applies
+    /// when any of them falls within a few lines of the call site —
+    /// below it for wrapped arguments, above it for orderings computed
+    /// into a local before the call.
+    pub lines: Vec<u32>,
+    /// Only ops whose declared ordering equals this are rewritten.
+    pub from: Ordering,
+    /// Replacement ordering.
+    pub to: Ordering,
+    /// Restrict to one operation kind (`None` = any kind).
+    pub kind: Option<OpKind>,
+    /// Times this rule fired, across every schedule of the exploration
+    /// (shared through the `Arc<OverrideSet>`): the audit's exercise
+    /// signal — an override that never fires is an `unexercised` verdict.
+    pub hits: AtomicU64,
+}
+
+/// A set of [`OverrideRule`]s installed via [`Config::overrides`].
+#[derive(Debug, Default)]
+pub struct OverrideSet {
+    pub rules: Vec<OverrideRule>,
+}
+
+/// Normalize a `Location::file()` path textually: `#[path]`-included
+/// sources report paths like `crates/check/src/../../deque/src/the.rs`,
+/// which must compare equal to `crates/deque/src/the.rs`.
+pub fn normalize_path(p: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for seg in p.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if out.pop().is_none() {
+                    out.push("..");
+                }
+            }
+            s => out.push(s),
+        }
+    }
+    out.join("/")
+}
+
+impl OverrideSet {
+    /// How far from the call-site line an `Ordering::` token may sit and
+    /// still belong to the call: below it when rustfmt wraps arguments,
+    /// above it when the ordering is computed into a local first
+    /// (`let order = if owner { Ordering::Relaxed } else { ... }`).
+    const LINE_WINDOW: u32 = 5;
+
+    fn matches(rule: &OverrideRule, o: Ordering, kind: OpKind, file: &str, line: u32) -> bool {
+        rule.from == o
+            && rule.kind.is_none_or(|k| k == kind)
+            && file.ends_with(rule.file_suffix.as_str())
+            && rule
+                .lines
+                .iter()
+                .any(|&l| l + Self::LINE_WINDOW >= line && l <= line + Self::LINE_WINDOW)
+    }
+
+    /// Resolve the ordering an op at `file:line` should actually use.
+    pub fn resolve(&self, o: Ordering, kind: OpKind, file: &str, line: u32) -> Ordering {
+        let file = normalize_path(file);
+        for rule in &self.rules {
+            if Self::matches(rule, o, kind, &file, line) {
+                rule.hits.fetch_add(1, Ordering::Relaxed);
+                return rule.to;
+            }
+        }
+        o
+    }
+}
+
+/// Facade-side entry point: map a declared ordering through the active
+/// [`OverrideSet`], if any. Costs one scheduler-lock acquisition per op
+/// while an exploration is active; free (no TLS hit beyond the lookup)
+/// otherwise.
+pub(crate) fn resolve_ordering(
+    o: Ordering,
+    kind: OpKind,
+    loc: &std::panic::Location<'_>,
+) -> Ordering {
+    let Some((ctx, _)) = tls() else { return o };
+    if std::thread::panicking() {
+        return o;
+    }
+    let set = lock(&ctx).overrides.clone();
+    match set {
+        Some(set) => set.resolve(o, kind, loc.file(), loc.line()),
+        None => o,
+    }
 }
 
 /// One scheduling decision: which thread's pending operation executes next.
@@ -338,7 +569,9 @@ pub(crate) fn tso_active() -> bool {
 }
 
 /// TSO load: forward from the own store buffer, else read shared memory.
-pub(crate) fn tso_load(id: u64, tag: &str) -> u64 {
+/// The declared ordering only matters for happens-before tracking (x86
+/// loads all compile the same); store-buffer forwarding is unconditional.
+pub(crate) fn tso_load(id: u64, o: Ordering, tag: &str) -> u64 {
     let out = std::cell::Cell::new(0u64);
     model_op(
         || (),
@@ -352,14 +585,16 @@ pub(crate) fn tso_load(id: u64, tag: &str) -> u64 {
                 .map(|&(_, v)| v)
                 .unwrap_or_else(|| st.objects.get(&id).copied().unwrap_or(0));
             out.set(v);
+            hb_load(st, id, o);
             (v, format!("{tag}#{id} load(tso) -> {v}"))
         },
     );
     out.get()
 }
 
-/// TSO store: buffer, or drain-and-commit when `sc` (SeqCst).
-pub(crate) fn tso_store(id: u64, v: u64, sc: bool, tag: &str) {
+/// TSO store: buffer, or drain-and-commit when SeqCst.
+pub(crate) fn tso_store(id: u64, v: u64, o: Ordering, tag: &str) {
+    let sc = o == Ordering::SeqCst;
     model_op(
         || (),
         |_, st| {
@@ -370,6 +605,7 @@ pub(crate) fn tso_store(id: u64, v: u64, sc: bool, tag: &str) {
             } else {
                 st.threads[tid].store_buf.push((id, v));
             }
+            hb_store(st, id, o);
             let k = if sc {
                 "store(tso,sc)"
             } else {
@@ -382,8 +618,16 @@ pub(crate) fn tso_store(id: u64, v: u64, sc: bool, tag: &str) {
 
 /// TSO read-modify-write: drains the buffer (x86 locked ops flush), then
 /// applies `f` to the shared value; `f` returning `Some(new)` commits the
-/// write (CAS failure returns `None`). Returns the old shared value.
-pub(crate) fn tso_rmw(id: u64, f: impl FnOnce(u64) -> Option<u64>, tag: &str) -> u64 {
+/// write (CAS failure returns `None`). Returns the old shared value. A
+/// successful RMW tracks happens-before with `ok`; a failure is a load
+/// with `err`.
+pub(crate) fn tso_rmw(
+    id: u64,
+    f: impl FnOnce(u64) -> Option<u64>,
+    ok: Ordering,
+    err: Ordering,
+    tag: &str,
+) -> u64 {
     let out = std::cell::Cell::new(0u64);
     let mut f = Some(f);
     model_op(
@@ -400,6 +644,7 @@ pub(crate) fn tso_rmw(id: u64, f: impl FnOnce(u64) -> Option<u64>, tag: &str) ->
                 None => false,
             };
             out.set(old);
+            hb_rmw(st, id, wrote, ok, err);
             (old, format!("{tag}#{id} rmw(tso) {old} wrote:{wrote}"))
         },
     );
@@ -407,8 +652,10 @@ pub(crate) fn tso_rmw(id: u64, f: impl FnOnce(u64) -> Option<u64>, tag: &str) ->
 }
 
 /// TSO fence: a SeqCst fence drains the buffer; weaker fences are a pure
-/// yield point (x86 acquire/release fences compile to nothing).
-pub(crate) fn tso_fence(sc: bool) {
+/// yield point (x86 acquire/release fences compile to nothing) but still
+/// create their C11 fence edges for happens-before tracking.
+pub(crate) fn tso_fence(o: Ordering) {
+    let sc = o == Ordering::SeqCst;
     model_op(
         || (),
         |_, st| {
@@ -416,13 +663,15 @@ pub(crate) fn tso_fence(sc: bool) {
                 let tid = st.current;
                 drain_stores(st, tid);
             }
+            hb_fence(st, o);
             (u64::from(sc), format!("fence(tso, sc={sc})"))
         },
     );
 }
 
 /// TSO pointer store: like [`tso_store`] but normalises to an ordinal.
-pub(crate) fn tso_ptr_store(id: u64, p: usize, sc: bool) {
+pub(crate) fn tso_ptr_store(id: u64, p: usize, o: Ordering) {
+    let sc = o == Ordering::SeqCst;
     model_op(
         || (),
         |_, st| {
@@ -434,6 +683,7 @@ pub(crate) fn tso_ptr_store(id: u64, p: usize, sc: bool) {
             } else {
                 st.threads[tid].store_buf.push((id, ord));
             }
+            hb_store(st, id, o);
             (ord, format!("AtomicPtr#{id} store(tso) ptr:{ord}"))
         },
     );
@@ -441,7 +691,7 @@ pub(crate) fn tso_ptr_store(id: u64, p: usize, sc: bool) {
 
 /// TSO pointer load: resolves the modelled ordinal back to the real
 /// pointer (0 = null).
-pub(crate) fn tso_ptr_load(id: u64) -> usize {
+pub(crate) fn tso_ptr_load(id: u64, o: Ordering) -> usize {
     let out = std::cell::Cell::new(0usize);
     model_op(
         || (),
@@ -459,6 +709,7 @@ pub(crate) fn tso_ptr_load(id: u64) -> usize {
             } else {
                 st.ptr_vals.get(&ord).copied().unwrap_or(0)
             });
+            hb_load(st, id, o);
             (ord, format!("AtomicPtr#{id} load(tso) -> ptr:{ord}"))
         },
     );
@@ -587,6 +838,9 @@ pub(crate) fn model_lock(id: u64) -> bool {
         g.threads[tid].status = Status::BlockedMutex(id);
     }
     g.mutex_owner.insert(id, Some(tid));
+    if g.races {
+        g.hb.lock(tid, id);
+    }
     drain_stores(&mut g, tid); // lock acquisition is an RMW: flush (TSO)
     g.threads[tid].pending_lock = None;
     g.threads[tid].status = Status::Runnable;
@@ -623,6 +877,9 @@ pub(crate) fn model_unlock(id: u64) {
     // the releasing store it has observed everything before it, so the
     // release commits the whole buffer.
     drain_stores(&mut g, tid);
+    if g.races {
+        g.hb.unlock(tid, id);
+    }
     g.mutex_owner.insert(id, None);
     for t in g.threads.iter_mut() {
         if t.status == Status::BlockedMutex(id) {
@@ -671,6 +928,9 @@ where
     }
     let child = g.threads.len();
     g.threads.push(ThreadSt::new(Status::Starting));
+    if g.races {
+        g.hb.spawn(tid, child);
+    }
     let slot: Slot<T> = Arc::new(StdMutex::new(None));
     let (c2, s2) = (ctx.clone(), Arc::clone(&slot));
     let os = std::thread::Builder::new()
@@ -813,6 +1073,9 @@ pub(crate) fn model_join(target: usize) -> bool {
             abort();
         }
     }
+    if g.races {
+        g.hb.join(tid, target);
+    }
     drain_stores(&mut g, tid); // join is a synchronisation edge (TSO)
     let step = g.steps;
     let t = &mut g.threads[tid];
@@ -857,6 +1120,21 @@ pub struct Config {
     /// explores a subset of TSO behaviours (every violation it finds is
     /// real; absence of violations is evidence, not proof).
     pub tso: bool,
+    /// Maintain a vector-clock happens-before relation over every
+    /// atomic/fence/mutex/spawn-join event and report a data race — two
+    /// accesses to the same [`crate::sync::RaceCell`], at least one a
+    /// write, unordered by happens-before — as a violation with a
+    /// replayable trail, even when no assertion fires. Race checking
+    /// uses the *declared* C11 orderings (a C11 data race is undefined
+    /// behaviour on every target), so it is meaningful in both the SC
+    /// and TSO modes. The happens-before state is mixed into the state
+    /// hash, so pruning stays sound at the cost of fewer prunes.
+    pub check_races: bool,
+    /// Per-site memory-ordering overrides for the minimization audit:
+    /// each facade op resolves its declared ordering through this set
+    /// (first matching rule wins) and counts the hit. `None` (the
+    /// default) adds no per-op cost beyond the TLS lookup.
+    pub overrides: Option<Arc<OverrideSet>>,
 }
 
 impl Default for Config {
@@ -867,6 +1145,8 @@ impl Default for Config {
             max_steps: 20_000,
             max_wall: Duration::from_secs(300),
             tso: false,
+            check_races: false,
+            overrides: None,
         }
     }
 }
@@ -936,6 +1216,9 @@ fn run_one(
             record_frames,
             os_handles: Vec::new(),
             pruned: 0,
+            races: cfg.check_races,
+            hb: HbState::default(),
+            overrides: cfg.overrides.clone(),
         }),
         cv: Condvar::new(),
     });

@@ -17,8 +17,17 @@
 //! Atomics participating in TSO exploration must be created inside the
 //! explored closure (objects registered outside an execution have id 0 and
 //! fall back to the sequentially consistent path).
+//!
+//! With [`crate::Config::check_races`] set, every operation additionally
+//! feeds the vector-clock happens-before engine ([`crate::hb`]) using its
+//! *declared* C11 ordering, and plain accesses through [`RaceCell`] are
+//! checked against the relation. Every ordering parameter also resolves
+//! through the active [`crate::OverrideSet`] (if any) first — the
+//! ordering-minimization audit substitutes candidate weaker orderings per
+//! site this way, without touching the code under test.
 
 use crate::rt;
+use std::panic::Location;
 pub use std::sync::atomic::Ordering;
 use std::sync::Mutex as StdMutex;
 
@@ -37,20 +46,27 @@ macro_rules! int_atomic {
                 }
             }
 
+            #[track_caller]
             pub fn load(&self, o: Ordering) -> $prim {
+                let o = rt::resolve_ordering(o, rt::OpKind::Load, Location::caller());
                 if self.id != 0 && rt::tso_active() {
-                    return rt::tso_load(self.id, $tag) as $prim;
+                    return rt::tso_load(self.id, o, $tag) as $prim;
                 }
                 let id = self.id;
                 rt::model_op(
                     || self.inner.load(o),
-                    |r, _| (*r as u64, format!(concat!($tag, "#{} load -> {}"), id, r)),
+                    |r, st| {
+                        rt::hb_load(st, id, o);
+                        (*r as u64, format!(concat!($tag, "#{} load -> {}"), id, r))
+                    },
                 )
             }
 
+            #[track_caller]
             pub fn store(&self, v: $prim, o: Ordering) {
+                let o = rt::resolve_ordering(o, rt::OpKind::Store, Location::caller());
                 if self.id != 0 && rt::tso_active() {
-                    rt::tso_store(self.id, v as u64, matches!(o, Ordering::SeqCst), $tag);
+                    rt::tso_store(self.id, v as u64, o, $tag);
                     // Mirror inside the token window (no physical race).
                     self.inner.store(v, o);
                     return;
@@ -60,14 +76,17 @@ macro_rules! int_atomic {
                     || self.inner.store(v, o),
                     |_, st| {
                         rt::set_object(st, id, v as u64);
+                        rt::hb_store(st, id, o);
                         (v as u64, format!(concat!($tag, "#{} store {}"), id, v))
                     },
                 )
             }
 
+            #[track_caller]
             pub fn swap(&self, v: $prim, o: Ordering) -> $prim {
+                let o = rt::resolve_ordering(o, rt::OpKind::Rmw, Location::caller());
                 if self.id != 0 && rt::tso_active() {
-                    let old = rt::tso_rmw(self.id, |_| Some(v as u64), $tag) as $prim;
+                    let old = rt::tso_rmw(self.id, |_| Some(v as u64), o, o, $tag) as $prim;
                     self.inner.store(v, Ordering::SeqCst);
                     return old;
                 }
@@ -76,6 +95,7 @@ macro_rules! int_atomic {
                     || self.inner.swap(v, o),
                     |r, st| {
                         rt::set_object(st, id, v as u64);
+                        rt::hb_rmw(st, id, true, o, o);
                         (
                             *r as u64,
                             format!(concat!($tag, "#{} swap {} -> {}"), id, v, r),
@@ -84,11 +104,17 @@ macro_rules! int_atomic {
                 )
             }
 
+            #[track_caller]
             pub fn fetch_add(&self, v: $prim, o: Ordering) -> $prim {
+                let o = rt::resolve_ordering(o, rt::OpKind::Rmw, Location::caller());
                 if self.id != 0 && rt::tso_active() {
-                    let old =
-                        rt::tso_rmw(self.id, |c| Some((c as $prim).wrapping_add(v) as u64), $tag)
-                            as $prim;
+                    let old = rt::tso_rmw(
+                        self.id,
+                        |c| Some((c as $prim).wrapping_add(v) as u64),
+                        o,
+                        o,
+                        $tag,
+                    ) as $prim;
                     self.inner.store(old.wrapping_add(v), Ordering::SeqCst);
                     return old;
                 }
@@ -97,6 +123,7 @@ macro_rules! int_atomic {
                     || self.inner.fetch_add(v, o),
                     |r, st| {
                         rt::set_object(st, id, r.wrapping_add(v) as u64);
+                        rt::hb_rmw(st, id, true, o, o);
                         (
                             *r as u64,
                             format!(concat!($tag, "#{} fetch_add {} -> {}"), id, v, r),
@@ -105,11 +132,17 @@ macro_rules! int_atomic {
                 )
             }
 
+            #[track_caller]
             pub fn fetch_sub(&self, v: $prim, o: Ordering) -> $prim {
+                let o = rt::resolve_ordering(o, rt::OpKind::Rmw, Location::caller());
                 if self.id != 0 && rt::tso_active() {
-                    let old =
-                        rt::tso_rmw(self.id, |c| Some((c as $prim).wrapping_sub(v) as u64), $tag)
-                            as $prim;
+                    let old = rt::tso_rmw(
+                        self.id,
+                        |c| Some((c as $prim).wrapping_sub(v) as u64),
+                        o,
+                        o,
+                        $tag,
+                    ) as $prim;
                     self.inner.store(old.wrapping_sub(v), Ordering::SeqCst);
                     return old;
                 }
@@ -118,6 +151,7 @@ macro_rules! int_atomic {
                     || self.inner.fetch_sub(v, o),
                     |r, st| {
                         rt::set_object(st, id, r.wrapping_sub(v) as u64);
+                        rt::hb_rmw(st, id, true, o, o);
                         (
                             *r as u64,
                             format!(concat!($tag, "#{} fetch_sub {} -> {}"), id, v, r),
@@ -126,6 +160,7 @@ macro_rules! int_atomic {
                 )
             }
 
+            #[track_caller]
             pub fn compare_exchange(
                 &self,
                 cur: $prim,
@@ -133,6 +168,9 @@ macro_rules! int_atomic {
                 ok: Ordering,
                 err: Ordering,
             ) -> Result<$prim, $prim> {
+                let loc = Location::caller();
+                let ok = rt::resolve_ordering(ok, rt::OpKind::Rmw, loc);
+                let err = rt::resolve_ordering(err, rt::OpKind::Load, loc);
                 if self.id != 0 && rt::tso_active() {
                     let old = rt::tso_rmw(
                         self.id,
@@ -143,6 +181,8 @@ macro_rules! int_atomic {
                                 None
                             }
                         },
+                        ok,
+                        err,
                         $tag,
                     ) as $prim;
                     return if old == cur {
@@ -159,6 +199,7 @@ macro_rules! int_atomic {
                         if r.is_ok() {
                             rt::set_object(st, id, new as u64);
                         }
+                        rt::hb_rmw(st, id, r.is_ok(), ok, err);
                         let obs = match r {
                             Ok(v) | Err(v) => *v as u64,
                         };
@@ -170,6 +211,7 @@ macro_rules! int_atomic {
                 )
             }
 
+            #[track_caller]
             pub fn compare_exchange_weak(
                 &self,
                 cur: $prim,
@@ -214,25 +256,27 @@ impl AtomicBool {
         }
     }
 
+    #[track_caller]
     pub fn load(&self, o: Ordering) -> bool {
+        let o = rt::resolve_ordering(o, rt::OpKind::Load, Location::caller());
         if self.id != 0 && rt::tso_active() {
-            return rt::tso_load(self.id, "AtomicBool") != 0;
+            return rt::tso_load(self.id, o, "AtomicBool") != 0;
         }
         let id = self.id;
         rt::model_op(
             || self.inner.load(o),
-            |r, _| (u64::from(*r), format!("AtomicBool#{id} load -> {r}")),
+            |r, st| {
+                rt::hb_load(st, id, o);
+                (u64::from(*r), format!("AtomicBool#{id} load -> {r}"))
+            },
         )
     }
 
+    #[track_caller]
     pub fn store(&self, v: bool, o: Ordering) {
+        let o = rt::resolve_ordering(o, rt::OpKind::Store, Location::caller());
         if self.id != 0 && rt::tso_active() {
-            rt::tso_store(
-                self.id,
-                u64::from(v),
-                matches!(o, Ordering::SeqCst),
-                "AtomicBool",
-            );
+            rt::tso_store(self.id, u64::from(v), o, "AtomicBool");
             self.inner.store(v, o);
             return;
         }
@@ -241,14 +285,17 @@ impl AtomicBool {
             || self.inner.store(v, o),
             |_, st| {
                 rt::set_object(st, id, u64::from(v));
+                rt::hb_store(st, id, o);
                 (u64::from(v), format!("AtomicBool#{id} store {v}"))
             },
         )
     }
 
+    #[track_caller]
     pub fn swap(&self, v: bool, o: Ordering) -> bool {
+        let o = rt::resolve_ordering(o, rt::OpKind::Rmw, Location::caller());
         if self.id != 0 && rt::tso_active() {
-            let old = rt::tso_rmw(self.id, |_| Some(u64::from(v)), "AtomicBool") != 0;
+            let old = rt::tso_rmw(self.id, |_| Some(u64::from(v)), o, o, "AtomicBool") != 0;
             self.inner.store(v, Ordering::SeqCst);
             return old;
         }
@@ -257,6 +304,7 @@ impl AtomicBool {
             || self.inner.swap(v, o),
             |r, st| {
                 rt::set_object(st, id, u64::from(v));
+                rt::hb_rmw(st, id, true, o, o);
                 (u64::from(*r), format!("AtomicBool#{id} swap {v} -> {r}"))
             },
         )
@@ -288,23 +336,28 @@ impl<T> AtomicPtr<T> {
         }
     }
 
+    #[track_caller]
     pub fn load(&self, o: Ordering) -> *mut T {
+        let o = rt::resolve_ordering(o, rt::OpKind::Load, Location::caller());
         if self.id != 0 && rt::tso_active() {
-            return rt::tso_ptr_load(self.id) as *mut T;
+            return rt::tso_ptr_load(self.id, o) as *mut T;
         }
         let id = self.id;
         rt::model_op(
             || self.inner.load(o),
             |r, st| {
                 let ord = rt::ptr_ord(st, *r as usize);
+                rt::hb_load(st, id, o);
                 (ord, format!("AtomicPtr#{id} load -> ptr:{ord}"))
             },
         )
     }
 
+    #[track_caller]
     pub fn store(&self, p: *mut T, o: Ordering) {
+        let o = rt::resolve_ordering(o, rt::OpKind::Store, Location::caller());
         if self.id != 0 && rt::tso_active() {
-            rt::tso_ptr_store(self.id, p as usize, matches!(o, Ordering::SeqCst));
+            rt::tso_ptr_store(self.id, p as usize, o);
             self.inner.store(p, o);
             return;
         }
@@ -314,6 +367,7 @@ impl<T> AtomicPtr<T> {
             |_, st| {
                 let ord = rt::ptr_ord(st, p as usize);
                 rt::set_object(st, id, ord);
+                rt::hb_store(st, id, o);
                 (ord, format!("AtomicPtr#{id} store ptr:{ord}"))
             },
         )
@@ -335,17 +389,103 @@ impl<T> std::fmt::Debug for AtomicPtr<T> {
 /// A memory fence is a pure yield point under the SC explorer
 /// (interleavings are already sequentially consistent), a store-buffer
 /// drain point under the TSO explorer when SeqCst, and a real fence
-/// otherwise.
+/// otherwise. Either way it creates its C11 fence edges for
+/// happens-before tracking. When the minimization audit overrides a
+/// fence down to `Relaxed`, the real fence is skipped (`std`'s panics on
+/// `Relaxed`) but the yield point is kept, so schedules stay aligned.
+#[track_caller]
 pub fn fence(o: Ordering) {
+    let o = rt::resolve_ordering(o, rt::OpKind::Fence, Location::caller());
     if rt::tso_active() {
-        rt::tso_fence(matches!(o, Ordering::SeqCst));
-        std::sync::atomic::fence(o);
+        rt::tso_fence(o);
+        if o != Ordering::Relaxed {
+            std::sync::atomic::fence(o);
+        }
         return;
     }
     rt::model_op(
-        || std::sync::atomic::fence(o),
-        |_, _| (0, format!("fence({o:?})")),
+        || {
+            if o != Ordering::Relaxed {
+                std::sync::atomic::fence(o);
+            }
+        },
+        |_, st| {
+            rt::hb_fence(st, o);
+            (0, format!("fence({o:?})"))
+        },
     );
+}
+
+/// A plain, non-atomic memory cell whose accesses the explorer
+/// race-checks under [`crate::Config::check_races`].
+///
+/// [`read`](Self::read) and [`write`](Self::write) record a checked
+/// access (a yield point plus a happens-before check — on a race the
+/// execution fails with a replayable trail *before* the returned pointer
+/// could be dereferenced); [`speculative`](Self::speculative) is an
+/// unchecked escape hatch for by-design benign races (a Chase-Lev
+/// thief's speculative slot read, validated by the subsequent CAS and
+/// discarded on failure). Outside an exploration the cell degrades to a
+/// transparent `UnsafeCell`.
+///
+/// The returned pointers carry the usual `UnsafeCell` obligations: the
+/// caller's protocol — not this type — must justify the dereference.
+pub struct RaceCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+    id: u64,
+}
+
+// SAFETY: RaceCell is a shared mutable cell by design — the same contract
+// as `UnsafeCell` behind the checked-access API. Callers synchronize
+// accesses via their own protocol; under `check_races` the explorer
+// verifies exactly that.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: see the `Send` impl above.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    pub fn new(t: T) -> Self {
+        Self {
+            inner: std::cell::UnsafeCell::new(t),
+            id: rt::register_race_var(),
+        }
+    }
+
+    /// Record a checked plain read; dereference the pointer promptly
+    /// (before this thread's next yield point) for the check to be sound.
+    pub fn read(&self) -> *const T {
+        rt::race_access(self.id, false, "RaceCell");
+        self.inner.get()
+    }
+
+    /// Record a checked plain write; dereference promptly, as with
+    /// [`read`](Self::read).
+    pub fn write(&self) -> *mut T {
+        rt::race_access(self.id, true, "RaceCell");
+        self.inner.get()
+    }
+
+    /// Unchecked access: no yield point, no happens-before check. Only
+    /// for reads that are racy *by design* and validated out-of-band.
+    pub fn speculative(&self) -> *const T {
+        self.inner.get()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T> Drop for RaceCell<T> {
+    fn drop(&mut self) {
+        rt::unregister_race_var(self.id);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaceCell").finish_non_exhaustive()
+    }
 }
 
 /// Model mutex with the `parking_lot` API shape (`lock()` returns the
